@@ -1,0 +1,58 @@
+// Command rpqbench regenerates the tables and figures of the paper's
+// evaluation section (§5) on the synthetic datasets.
+//
+// Usage:
+//
+//	rpqbench -list
+//	rpqbench -exp fig4 [-scale 40000] [-seed 1]
+//	rpqbench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"streamrpq/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale = flag.Int("scale", 40000, "stream length in tuples for the primary runs")
+		seed  = flag.Int64("seed", 1, "random seed for dataset and workload generation")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("  %-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Scale: *scale, Out: os.Stdout, Seed: *seed}
+	run := func(r experiments.Runner) {
+		start := time.Now()
+		if err := r.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "rpqbench: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s completed in %v]\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, r := range experiments.All() {
+			run(r)
+		}
+		return
+	}
+	r, ok := experiments.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rpqbench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(r)
+}

@@ -1,0 +1,104 @@
+// Command rpqgen generates synthetic streaming-graph files in the text
+// tuple format (one "ts src dst label [+|-]" line per tuple).
+//
+// Usage:
+//
+//	rpqgen -dataset so -edges 100000 -out so.stream
+//	rpqgen -dataset yago -edges 50000 -deletions 0.05 -out yago.stream
+//
+// Datasets: so, ldbc, yago, gmark.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"streamrpq/internal/datasets"
+	"streamrpq/internal/stream"
+)
+
+func main() {
+	var (
+		dataset   = flag.String("dataset", "so", "dataset family: so, ldbc, yago, gmark")
+		edges     = flag.Int("edges", 100000, "number of tuples to generate")
+		deletions = flag.Float64("deletions", 0, "ratio of explicit deletions (0..1)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("out", "-", "output file ('-' for stdout)")
+		format    = flag.String("format", "text", "output format: text or binary")
+	)
+	flag.Parse()
+
+	var d *datasets.Dataset
+	switch *dataset {
+	case "so":
+		cfg := datasets.DefaultSO(*edges)
+		cfg.Seed = *seed
+		d = datasets.SO(cfg)
+	case "ldbc":
+		cfg := datasets.DefaultLDBC(*edges)
+		cfg.Seed = *seed
+		d = datasets.LDBC(cfg)
+	case "yago":
+		cfg := datasets.DefaultYago(*edges)
+		cfg.Seed = *seed
+		d = datasets.Yago(cfg)
+	case "gmark":
+		cfg := datasets.DefaultGMark(*edges)
+		cfg.Seed = *seed
+		d = datasets.GMark(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "rpqgen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	if *deletions > 0 {
+		d = d.WithDeletions(*deletions, *seed+100)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpqgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "binary":
+		bw, err := stream.NewBinaryWriter(w, d.Labels)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range d.Tuples {
+			if err := bw.Write(t); err != nil {
+				fatal(err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			fatal(err)
+		}
+	case "text":
+		bw := bufio.NewWriter(w)
+		defer bw.Flush()
+		fmt.Fprintf(bw, "# %s: %d tuples, labels: %v\n", d.Name, len(d.Tuples), d.Labels)
+		for _, t := range d.Tuples {
+			op := ""
+			if t.Op == stream.Delete {
+				op = " -"
+			}
+			fmt.Fprintf(bw, "%d v%d v%d %s%s\n", t.TS, t.Src, t.Dst, d.Labels[t.Label], op)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "rpqgen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rpqgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,147 @@
+// Command rpqstats summarizes a streaming-graph file: tuple and label
+// histograms, vertex counts, timestamp span and arrival rate, and the
+// deletion ratio — the quantities that determine workload difficulty
+// for the RPQ engines (label density and cyclicity, §5.2).
+//
+// Usage:
+//
+//	rpqgen -dataset so -edges 50000 -out so.stream
+//	rpqstats so.stream
+//	rpqstats < so.stream
+//
+// Both the text format and the binary format (SRPQ magic) are
+// accepted; the format is auto-detected.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"streamrpq/internal/stream"
+)
+
+func main() {
+	topN := flag.Int("top", 10, "number of most frequent labels/vertices to print")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+		name = flag.Arg(0)
+	}
+	br := bufio.NewReader(in)
+
+	tuples, labels, err := readAny(br)
+	if err != nil {
+		fatal(err)
+	}
+	if len(tuples) == 0 {
+		fmt.Printf("%s: empty stream\n", name)
+		return
+	}
+
+	var deletes int
+	labelCount := map[stream.LabelID]int{}
+	degree := map[stream.VertexID]int{}
+	vertices := map[stream.VertexID]struct{}{}
+	recip := 0
+	fwd := map[[2]stream.VertexID]bool{}
+	for _, t := range tuples {
+		if t.Op == stream.Delete {
+			deletes++
+		}
+		labelCount[t.Label]++
+		degree[t.Src]++
+		vertices[t.Src] = struct{}{}
+		vertices[t.Dst] = struct{}{}
+		if fwd[[2]stream.VertexID{t.Dst, t.Src}] {
+			recip++
+		}
+		fwd[[2]stream.VertexID{t.Src, t.Dst}] = true
+	}
+	span := tuples[len(tuples)-1].TS - tuples[0].TS + 1
+
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("  tuples:        %d (%d deletions, %.1f%%)\n",
+		len(tuples), deletes, 100*float64(deletes)/float64(len(tuples)))
+	fmt.Printf("  vertices:      %d\n", len(vertices))
+	fmt.Printf("  labels:        %d distinct\n", len(labelCount))
+	fmt.Printf("  time span:     %d units (%.1f tuples/unit)\n",
+		span, float64(len(tuples))/float64(span))
+	fmt.Printf("  reciprocated:  %d edge pairs (%.1f%% — cyclicity signal)\n",
+		recip, 100*float64(recip)/float64(len(tuples)))
+
+	type lc struct {
+		id stream.LabelID
+		n  int
+	}
+	var ls []lc
+	for id, n := range labelCount {
+		ls = append(ls, lc{id, n})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].n > ls[j].n })
+	fmt.Printf("  top labels:\n")
+	for i, l := range ls {
+		if i >= *topN {
+			break
+		}
+		lname := fmt.Sprintf("label%d", l.id)
+		if int(l.id) < len(labels) {
+			lname = labels[l.id]
+		}
+		fmt.Printf("    %-24s %8d (%.1f%%)\n", lname, l.n, 100*float64(l.n)/float64(len(tuples)))
+	}
+
+	type vc struct {
+		id stream.VertexID
+		n  int
+	}
+	var vs []vc
+	for id, n := range degree {
+		vs = append(vs, vc{id, n})
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].n > vs[j].n })
+	fmt.Printf("  top out-degree vertices:\n")
+	for i, v := range vs {
+		if i >= *topN {
+			break
+		}
+		fmt.Printf("    v%-10d %8d\n", v.id, v.n)
+	}
+}
+
+// readAny sniffs the format and decodes the whole stream. Returns the
+// label dictionary when the format carries one (binary header), or the
+// dictionary accumulated by the text reader.
+func readAny(br *bufio.Reader) ([]stream.Tuple, []string, error) {
+	head, err := br.Peek(4)
+	if err != nil && err != io.EOF {
+		return nil, nil, err
+	}
+	if string(head) == "SRPQ" {
+		r, err := stream.NewBinaryReader(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		tuples, err := r.ReadAll()
+		return tuples, r.Labels(), err
+	}
+	r := stream.NewReader(br, stream.NewDict(), stream.NewDict())
+	tuples, err := r.ReadAll()
+	return tuples, r.Labels().Names(), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rpqstats:", err)
+	os.Exit(1)
+}

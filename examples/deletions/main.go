@@ -1,0 +1,64 @@
+// Explicit deletions: an e-commerce fraud scenario exercising negative
+// tuples (§3.2 of the paper). The system watches chains of referral
+// and purchase events; when a referral is found fraudulent it is
+// explicitly deleted from the stream, and every result that depended
+// on it is retracted through the invalidation channel.
+//
+// Run with:
+//
+//	go run ./examples/deletions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamrpq"
+)
+
+func main() {
+	// referral+ / purchase : someone whose referral chain led to a sale.
+	q := streamrpq.MustCompile("referral+/purchase")
+
+	var retracted []streamrpq.Match
+	ev, err := streamrpq.NewEvaluator(q,
+		streamrpq.WithWindow(1000, 10),
+		streamrpq.WithOnInvalidate(func(m streamrpq.Match) {
+			retracted = append(retracted, m)
+			fmt.Printf("t=%3d RETRACT commission %s -> %s (depended on deleted referral)\n",
+				m.TS, m.From, m.To)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	steps := []streamrpq.Tuple{
+		{TS: 1, Src: "alice", Dst: "bob", Label: "referral"},
+		{TS: 2, Src: "bob", Dst: "carol", Label: "referral"},
+		{TS: 3, Src: "carol", Dst: "item42", Label: "purchase"},
+		// Fraud team voids bob's referral of carol:
+		{TS: 10, Src: "bob", Dst: "carol", Label: "referral", Delete: true},
+		// A legitimate chain re-forms later:
+		{TS: 20, Src: "dave", Dst: "carol", Label: "referral"},
+	}
+
+	for _, t := range steps {
+		op := "+"
+		if t.Delete {
+			op = "-"
+		}
+		fmt.Printf("t=%3d %s %s -%s-> %s\n", t.TS, op, t.Src, t.Label, t.Dst)
+		ms, err := ev.Ingest(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, m := range ms {
+			fmt.Printf("t=%3d COMMISSION %s earns on %s\n", m.TS, m.From, m.To)
+		}
+	}
+
+	fmt.Printf("\nretracted results: %d\n", len(retracted))
+	st := ev.Stats()
+	fmt.Printf("stats: results=%d invalidations=%d trees=%d nodes=%d\n",
+		st.Results, st.Invalidations, st.Trees, st.Nodes)
+}

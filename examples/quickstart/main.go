@@ -1,0 +1,60 @@
+// Quickstart: evaluate a persistent RPQ over the streaming graph of
+// Figure 1 of the paper.
+//
+// The query (follows/mentions)+ asks for pairs of users connected by a
+// path of alternating follows and mentions edges, all within a sliding
+// window of 15 time units. Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamrpq"
+)
+
+func main() {
+	// Compile the query once (registration time: NFA → minimal DFA).
+	q, err := streamrpq.Compile("(follows/mentions)+")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %q: %d DFA states, alphabet %v\n\n", q, q.NumStates(), q.Alphabet())
+
+	ev, err := streamrpq.NewEvaluator(q,
+		streamrpq.WithWindow(15, 1), // |W| = 15 time units, slide every unit
+		streamrpq.WithSemantics(streamrpq.Arbitrary))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The streaming graph of Figure 1(a).
+	stream := []streamrpq.Tuple{
+		{TS: 4, Src: "y", Dst: "u", Label: "mentions"},
+		{TS: 6, Src: "x", Dst: "z", Label: "follows"},
+		{TS: 9, Src: "u", Dst: "v", Label: "follows"},
+		{TS: 11, Src: "z", Dst: "w", Label: "mentions"},
+		{TS: 13, Src: "x", Dst: "y", Label: "follows"},
+		{TS: 14, Src: "z", Dst: "u", Label: "mentions"},
+		{TS: 15, Src: "u", Dst: "x", Label: "mentions"},
+		{TS: 18, Src: "v", Dst: "y", Label: "mentions"},
+		{TS: 19, Src: "w", Dst: "u", Label: "follows"},
+	}
+
+	for _, t := range stream {
+		matches, err := ev.Ingest(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, m := range matches {
+			fmt.Printf("t=%2d  %s -> %s now connected (edge %s -%s-> %s arrived)\n",
+				t.TS, m.From, m.To, t.Src, t.Label, t.Dst)
+		}
+	}
+
+	st := ev.Stats()
+	fmt.Printf("\nprocessed %d tuples, emitted %d results, Δ index: %d trees / %d nodes\n",
+		st.TuplesSeen, st.Results, st.Trees, st.Nodes)
+}

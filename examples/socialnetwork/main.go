@@ -1,0 +1,101 @@
+// Social-network notifications: the use case motivating the paper's
+// introduction. A recommendation service watches the interaction
+// stream of a social platform and notifies users when another user
+// becomes reachable through a chain of endorsements — a friend of a
+// friend who liked content the user created.
+//
+// Two persistent queries run side by side over the same stream:
+//
+//	influence: knows+                        (transitive friendship)
+//	reach:     knows*/likes/hasCreator       (someone in my friend
+//	                                          closure liked a post of X)
+//
+// The stream is synthetic LDBC-like activity. Run with:
+//
+//	go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"streamrpq"
+)
+
+func main() {
+	influence, err := streamrpq.NewEvaluator(
+		streamrpq.MustCompile("knows+"),
+		streamrpq.WithWindow(200, 20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	reach, err := streamrpq.NewEvaluator(
+		streamrpq.MustCompile("knows*/likes/hasCreator"),
+		streamrpq.WithWindow(200, 20))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	users := []string{"ana", "bo", "cem", "dara", "eli", "fay", "gus", "hana"}
+	posts := 0
+
+	var influenceCount, reachCount int
+	creator := map[string]string{} // post -> author
+
+	for ts := int64(1); ts <= 600; ts++ {
+		var t streamrpq.Tuple
+		switch rng.Intn(4) {
+		case 0, 1: // a user befriends another
+			a, b := users[rng.Intn(len(users))], users[rng.Intn(len(users))]
+			if a == b {
+				continue
+			}
+			t = streamrpq.Tuple{TS: ts, Src: a, Dst: b, Label: "knows"}
+		case 2: // a user publishes a post
+			posts++
+			post := fmt.Sprintf("post%03d", posts)
+			author := users[rng.Intn(len(users))]
+			creator[post] = author
+			t = streamrpq.Tuple{TS: ts, Src: post, Dst: author, Label: "hasCreator"}
+		default: // a user likes a random known post
+			if posts == 0 {
+				continue
+			}
+			post := fmt.Sprintf("post%03d", 1+rng.Intn(posts))
+			t = streamrpq.Tuple{TS: ts, Src: users[rng.Intn(len(users))], Dst: post, Label: "likes"}
+		}
+
+		for _, m := range mustIngest(influence, t) {
+			influenceCount++
+			if influenceCount <= 8 {
+				fmt.Printf("t=%3d [influence] %s can now reach %s through friendships\n", ts, m.From, m.To)
+			}
+		}
+		for _, m := range mustIngest(reach, t) {
+			if m.From == m.To {
+				continue // self-endorsement
+			}
+			reachCount++
+			if reachCount <= 8 {
+				fmt.Printf("t=%3d [reach]     notify %s: your friend circle engaged with %s's content\n", ts, m.From, m.To)
+			}
+		}
+	}
+
+	fmt.Printf("\ninfluence pairs: %d, reach notifications: %d\n", influenceCount, reachCount)
+	si, sr := influence.Stats(), reach.Stats()
+	fmt.Printf("influence engine: %d tuples (%d dropped), Δ %d trees/%d nodes\n",
+		si.TuplesSeen, si.TuplesDropped, si.Trees, si.Nodes)
+	fmt.Printf("reach engine:     %d tuples (%d dropped), Δ %d trees/%d nodes\n",
+		sr.TuplesSeen, sr.TuplesDropped, sr.Trees, sr.Nodes)
+}
+
+func mustIngest(ev *streamrpq.Evaluator, t streamrpq.Tuple) []streamrpq.Match {
+	ms, err := ev.Ingest(t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ms
+}

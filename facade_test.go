@@ -1,0 +1,173 @@
+package streamrpq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMultiEvaluator(t *testing.T) {
+	q1 := MustCompile("knows+")
+	q2 := MustCompile("knows/likes")
+	m, err := NewMultiEvaluator(100, 10, q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumQueries() != 2 {
+		t.Fatalf("NumQueries = %d", m.NumQueries())
+	}
+
+	seq := []Tuple{
+		{TS: 1, Src: "a", Dst: "b", Label: "knows"},
+		{TS: 2, Src: "b", Dst: "c", Label: "knows"},
+		{TS: 3, Src: "c", Dst: "p", Label: "likes"},
+	}
+	got := map[string]map[[2]string]bool{}
+	for _, tu := range seq {
+		results, err := m.Ingest(tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qr := range results {
+			name := qr.Query.String()
+			if got[name] == nil {
+				got[name] = map[[2]string]bool{}
+			}
+			for _, match := range qr.Matches {
+				got[name][[2]string{match.From, match.To}] = true
+			}
+		}
+	}
+	if !got["knows+"][[2]string{"a", "b"}] || !got["knows+"][[2]string{"a", "c"}] {
+		t.Errorf("knows+ results: %v", got["knows+"])
+	}
+	if !got["knows/likes"][[2]string{"b", "p"}] {
+		t.Errorf("knows/likes results: %v", got["knows/likes"])
+	}
+	if got["knows/likes"][[2]string{"a", "p"}] {
+		t.Errorf("knows/likes matched a 3-hop path: %v", got["knows/likes"])
+	}
+	if st := m.Stats(); st.Edges != 3 {
+		t.Errorf("shared graph edges = %d, want 3", st.Edges)
+	}
+}
+
+func TestMultiEvaluatorOutOfOrder(t *testing.T) {
+	m, err := NewMultiEvaluator(10, 1, MustCompile("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Ingest(Tuple{TS: 5, Src: "u", Dst: "v", Label: "a"})
+	if _, err := m.Ingest(Tuple{TS: 4, Src: "u", Dst: "v", Label: "a"}); err == nil {
+		t.Fatal("out-of-order accepted")
+	}
+}
+
+func TestMultiEvaluatorBadWindow(t *testing.T) {
+	if _, err := NewMultiEvaluator(0, 1, MustCompile("a")); err == nil {
+		t.Fatal("invalid window accepted")
+	}
+}
+
+// TestParallelEvaluatorAgrees: WithParallelism must not change results.
+func TestParallelEvaluatorAgrees(t *testing.T) {
+	q := MustCompile("(a/b)+")
+	seqEv, err := NewEvaluator(q, WithWindow(40, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parEv, err := NewEvaluator(q, WithWindow(40, 4), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(21))
+	names := []string{"u0", "u1", "u2", "u3", "u4", "u5", "u6", "u7"}
+	seqGot := map[[2]string]bool{}
+	parGot := map[[2]string]bool{}
+	ts := int64(0)
+	for i := 0; i < 600; i++ {
+		ts += rng.Int63n(3)
+		tu := Tuple{
+			TS:    ts,
+			Src:   names[rng.Intn(len(names))],
+			Dst:   names[rng.Intn(len(names))],
+			Label: []string{"a", "b"}[rng.Intn(2)],
+		}
+		for _, m := range seqEv.MustIngest(tu) {
+			seqGot[[2]string{m.From, m.To}] = true
+		}
+		for _, m := range parEv.MustIngest(tu) {
+			parGot[[2]string{m.From, m.To}] = true
+		}
+	}
+	if len(seqGot) != len(parGot) {
+		t.Fatalf("sequential %d pairs, parallel %d pairs", len(seqGot), len(parGot))
+	}
+	for p := range seqGot {
+		if !parGot[p] {
+			t.Fatalf("pair %v missing from parallel run", p)
+		}
+	}
+}
+
+func TestParallelSimpleRejected(t *testing.T) {
+	_, err := NewEvaluator(MustCompile("a*"), WithSemantics(Simple), WithParallelism(2))
+	if err == nil || !strings.Contains(err.Error(), "Parallelism") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestSlackReordersTuples: with WithSlack the evaluator accepts
+// bounded disorder and produces the same results as an ordered run.
+func TestSlackReordersTuples(t *testing.T) {
+	q := MustCompile("a/b")
+	ordered, _ := NewEvaluator(q, WithWindow(50, 5))
+	slacked, _ := NewEvaluator(q, WithWindow(50, 5), WithSlack(10))
+
+	orderedSeq := []Tuple{
+		{TS: 1, Src: "x", Dst: "y", Label: "a"},
+		{TS: 3, Src: "y", Dst: "z", Label: "b"},
+		{TS: 5, Src: "z", Dst: "w", Label: "a"},
+		{TS: 7, Src: "w", Dst: "v", Label: "b"},
+	}
+	shuffled := []Tuple{orderedSeq[1], orderedSeq[0], orderedSeq[3], orderedSeq[2]}
+
+	collect := func(ev *Evaluator, seq []Tuple) map[[2]string]bool {
+		out := map[[2]string]bool{}
+		for _, tu := range seq {
+			for _, m := range ev.MustIngest(tu) {
+				out[[2]string{m.From, m.To}] = true
+			}
+		}
+		for _, m := range ev.Flush() {
+			out[[2]string{m.From, m.To}] = true
+		}
+		return out
+	}
+	want := collect(ordered, orderedSeq)
+	got := collect(slacked, shuffled)
+	if len(want) != len(got) {
+		t.Fatalf("ordered %v, slacked %v", want, got)
+	}
+	for p := range want {
+		if !got[p] {
+			t.Fatalf("pair %v missing from slacked run", p)
+		}
+	}
+}
+
+func TestSlackLateTupleRejected(t *testing.T) {
+	ev, _ := NewEvaluator(MustCompile("a"), WithWindow(50, 5), WithSlack(2))
+	ev.MustIngest(Tuple{TS: 10, Src: "u", Dst: "v", Label: "a"}) // watermark 8
+	if _, err := ev.Ingest(Tuple{TS: 7, Src: "u", Dst: "v", Label: "a"}); err == nil {
+		t.Fatal("late tuple accepted")
+	}
+}
+
+func TestFlushWithoutSlack(t *testing.T) {
+	ev, _ := NewEvaluator(MustCompile("a"), WithWindow(10, 1))
+	if ms := ev.Flush(); len(ms) != 0 {
+		t.Fatalf("Flush without slack returned %v", ms)
+	}
+}

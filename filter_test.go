@@ -1,0 +1,62 @@
+package streamrpq
+
+import "testing"
+
+func TestEdgeFilterRejects(t *testing.T) {
+	ev, err := NewEvaluator(MustCompile("pays/pays"),
+		WithWindow(100, 10),
+		WithEdgeFilter(func(tu Tuple) bool { return tu.Props["amount"] == "big" }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := map[string]string{"amount": "big"}
+	small := map[string]string{"amount": "small"}
+
+	ev.MustIngest(Tuple{TS: 1, Src: "a", Dst: "b", Label: "pays", Props: big})
+	// The small middle hop is filtered, so no 2-hop result may form.
+	ev.MustIngest(Tuple{TS: 2, Src: "b", Dst: "c", Label: "pays", Props: small})
+	ms := ev.MustIngest(Tuple{TS: 3, Src: "b", Dst: "d", Label: "pays", Props: big})
+	found := map[[2]string]bool{}
+	for _, m := range ms {
+		found[[2]string{m.From, m.To}] = true
+	}
+	if !found[[2]string{"a", "d"}] {
+		t.Errorf("a->d missing: %v", found)
+	}
+	if found[[2]string{"a", "c"}] {
+		t.Errorf("a->c formed through a filtered edge")
+	}
+}
+
+func TestEdgeFilterAdvancesClock(t *testing.T) {
+	ev, _ := NewEvaluator(MustCompile("a/a"),
+		WithWindow(5, 1),
+		WithEdgeFilter(func(tu Tuple) bool { return tu.Props["keep"] == "y" }))
+	keep := map[string]string{"keep": "y"}
+	drop := map[string]string{"keep": "n"}
+
+	ev.MustIngest(Tuple{TS: 1, Src: "a", Dst: "b", Label: "a", Props: keep})
+	// Filtered tuples far in the future must still expire the window.
+	ev.MustIngest(Tuple{TS: 50, Src: "x", Dst: "y", Label: "a", Props: drop})
+	ms := ev.MustIngest(Tuple{TS: 51, Src: "b", Dst: "c", Label: "a", Props: keep})
+	if len(ms) != 0 {
+		t.Fatalf("expired edge produced results: %v", ms)
+	}
+	if st := ev.Stats(); st.Edges > 1 {
+		t.Fatalf("window holds %d edges; the t=1 edge should have expired", st.Edges)
+	}
+}
+
+func TestEdgeFilterExemptsDeletions(t *testing.T) {
+	retracted := 0
+	ev, _ := NewEvaluator(MustCompile("a"),
+		WithWindow(100, 10),
+		WithEdgeFilter(func(tu Tuple) bool { return tu.Props["keep"] == "y" }),
+		WithOnInvalidate(func(Match) { retracted++ }))
+	ev.MustIngest(Tuple{TS: 1, Src: "u", Dst: "v", Label: "a", Props: map[string]string{"keep": "y"}})
+	// The deletion carries no props; the filter must not block it.
+	ev.MustIngest(Tuple{TS: 2, Src: "u", Dst: "v", Label: "a", Delete: true})
+	if retracted != 1 {
+		t.Fatalf("retracted = %d, want 1", retracted)
+	}
+}

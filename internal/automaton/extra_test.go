@@ -1,0 +1,97 @@
+package automaton
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamrpq/internal/pattern"
+)
+
+// TestDFAStringDeterministic: the debug rendering must be stable, so
+// golden comparisons and deduplication by String are safe.
+func TestDFAStringDeterministic(t *testing.T) {
+	for _, src := range exprFixtures {
+		d := Compile(pattern.MustParse(src))
+		first := d.String()
+		for i := 0; i < 5; i++ {
+			if d.String() != first {
+				t.Fatalf("%q: unstable String()", src)
+			}
+		}
+	}
+}
+
+// TestCompileCanonical: equal languages yield identical minimal DFAs
+// (state numbering included), thanks to the canonical BFS renumbering
+// in Minimize.
+func TestCompileCanonical(t *testing.T) {
+	pairs := [][2]string{
+		{"a|b", "b|a"},
+		{"a*", "(a*)*"},
+		{"a/b|a/c", "a/(b|c)"},
+		{"(a|b)*", "(a*|b*)*"},
+		{"a?", "a|()"},
+		{"a+", "a/a*"},
+	}
+	for _, p := range pairs {
+		d1 := Compile(pattern.MustParse(p[0]))
+		d2 := Compile(pattern.MustParse(p[1]))
+		if d1.String() != d2.String() {
+			t.Errorf("equivalent %q and %q compile differently:\n%s\n%s", p[0], p[1], d1, d2)
+		}
+	}
+}
+
+// TestMinimizeNeverGrows via quick: for random expressions the minimal
+// DFA has at most as many states as the subset-construction DFA.
+func TestMinimizeNeverGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 4, []string{"a", "b", "c"})
+		d := Determinize(Thompson(e))
+		return d.Minimize().NumStates() <= d.NumStates()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestContainmentReflexiveTransitive: the containment matrix is a
+// preorder — reflexive and transitive — on every fixture.
+func TestContainmentReflexiveTransitive(t *testing.T) {
+	for _, src := range exprFixtures {
+		d := Compile(pattern.MustParse(src))
+		cont := d.Containment()
+		n := d.NumStates()
+		for s := 0; s < n; s++ {
+			if !cont[s][s] {
+				t.Fatalf("%q: containment not reflexive at state %d", src, s)
+			}
+		}
+		for s := 0; s < n; s++ {
+			for q := 0; q < n; q++ {
+				for r := 0; r < n; r++ {
+					if cont[s][q] && cont[q][r] && !cont[s][r] {
+						t.Fatalf("%q: containment not transitive: %d⊇%d, %d⊇%d, but not %d⊇%d",
+							src, s, q, q, r, s, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBoundEmptyAlphabet: binding against a zero-label space must not
+// panic and must make everything irrelevant.
+func TestBoundEmptyAlphabet(t *testing.T) {
+	d := Compile(pattern.MustParse("a/b"))
+	b := d.Bind(func(string) int { return -1 }, 0)
+	if b.Relevant(0) {
+		t.Fatal("label relevant in empty space")
+	}
+	if b.Step(b.Start, 0) != NoState {
+		t.Fatal("transition in empty space")
+	}
+}

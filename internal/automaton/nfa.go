@@ -1,0 +1,177 @@
+// Package automaton converts RPQ regular expressions into minimal
+// deterministic finite automata and derives the suffix-language
+// containment relation used by the simple-path (RSPQ) engine.
+//
+// The pipeline mirrors §2 of Pacaci et al. (SIGMOD 2020): Thompson's
+// construction builds an NFA recognizing L(R) [Thompson 1968], subset
+// construction determinizes it, and Hopcroft's algorithm [Hopcroft
+// 1971] minimizes the result.
+package automaton
+
+import (
+	"sort"
+
+	"streamrpq/internal/pattern"
+)
+
+// nfaState is a state of a Thompson NFA. Thompson states have at most
+// two ε successors and at most one labeled successor.
+type nfaState struct {
+	eps   []int  // ε-transitions
+	label string // labeled transition, "" if none
+	to    int    // target of the labeled transition
+}
+
+// NFA is a nondeterministic finite automaton with ε-transitions
+// produced by Thompson's construction.
+type NFA struct {
+	states []nfaState
+	start  int
+	accept int // Thompson NFAs have a single accepting state
+}
+
+// NumStates returns the number of NFA states.
+func (n *NFA) NumStates() int { return len(n.states) }
+
+// Thompson builds an NFA recognizing L(e) using Thompson's
+// construction. Every operator adds a constant number of states, so the
+// NFA has O(|e|) states.
+func Thompson(e *pattern.Expr) *NFA {
+	n := &NFA{}
+	s, a := n.build(e)
+	n.start, n.accept = s, a
+	return n
+}
+
+func (n *NFA) newState() int {
+	n.states = append(n.states, nfaState{to: -1})
+	return len(n.states) - 1
+}
+
+func (n *NFA) addEps(from, to int) {
+	n.states[from].eps = append(n.states[from].eps, to)
+}
+
+// build returns the (start, accept) fragment for e.
+func (n *NFA) build(e *pattern.Expr) (int, int) {
+	switch e.Op {
+	case pattern.OpEmpty:
+		s := n.newState()
+		a := n.newState()
+		n.addEps(s, a)
+		return s, a
+	case pattern.OpLabel:
+		s := n.newState()
+		a := n.newState()
+		n.states[s].label = e.Label
+		n.states[s].to = a
+		return s, a
+	case pattern.OpConcat:
+		s, a := n.build(e.Subs[0])
+		for _, sub := range e.Subs[1:] {
+			s2, a2 := n.build(sub)
+			n.addEps(a, s2)
+			a = a2
+		}
+		return s, a
+	case pattern.OpAlt:
+		s := n.newState()
+		a := n.newState()
+		for _, sub := range e.Subs {
+			si, ai := n.build(sub)
+			n.addEps(s, si)
+			n.addEps(ai, a)
+		}
+		return s, a
+	case pattern.OpStar:
+		si, ai := n.build(e.Subs[0])
+		s := n.newState()
+		a := n.newState()
+		n.addEps(s, si)
+		n.addEps(s, a)
+		n.addEps(ai, si)
+		n.addEps(ai, a)
+		return s, a
+	case pattern.OpPlus:
+		si, ai := n.build(e.Subs[0])
+		s := n.newState()
+		a := n.newState()
+		n.addEps(s, si)
+		n.addEps(ai, si)
+		n.addEps(ai, a)
+		return s, a
+	case pattern.OpOpt:
+		si, ai := n.build(e.Subs[0])
+		s := n.newState()
+		a := n.newState()
+		n.addEps(s, si)
+		n.addEps(s, a)
+		n.addEps(ai, a)
+		return s, a
+	}
+	// Unreachable for validated expressions; return a dead fragment.
+	s := n.newState()
+	a := n.newState()
+	return s, a
+}
+
+// closure expands set (a sorted slice of state ids) to its ε-closure,
+// returning a sorted, deduplicated slice.
+func (n *NFA) closure(set []int) []int {
+	seen := make(map[int]bool, len(set)*2)
+	stack := append([]int(nil), set...)
+	for _, s := range set {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.states[s].eps {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Accepts reports whether the NFA accepts the word. It simulates the
+// NFA directly and is used as a test oracle.
+func (n *NFA) Accepts(word []string) bool {
+	cur := n.closure([]int{n.start})
+	for _, l := range word {
+		var next []int
+		for _, s := range cur {
+			if n.states[s].label == l {
+				next = append(next, n.states[s].to)
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		sort.Ints(next)
+		cur = n.closure(dedupSorted(next))
+	}
+	for _, s := range cur {
+		if s == n.accept {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupSorted(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamrpq/internal/automaton"
+	"streamrpq/internal/core"
+	"streamrpq/internal/pattern"
+	"streamrpq/internal/stream"
+	"streamrpq/internal/window"
+)
+
+func bindExpr(t testing.TB, expr string, labels ...string) *automaton.Bound {
+	t.Helper()
+	ids := map[string]int{}
+	for i, l := range labels {
+		ids[l] = i
+	}
+	return automaton.Compile(pattern.MustParse(expr)).Bind(func(s string) int {
+		if id, ok := ids[s]; ok {
+			return id
+		}
+		return -1
+	}, len(labels))
+}
+
+// TestRescanAgreesWithRAPQ: on append-only streams, the baseline and
+// the incremental engine must produce identical cumulative result sets
+// — only their costs differ.
+func TestRescanAgreesWithRAPQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for _, expr := range []string{"a*", "a/b*", "(a/b)+", "a/b/c"} {
+		a := bindExpr(t, expr, "a", "b", "c")
+		spec := window.Spec{Size: 25, Slide: 1}
+
+		base := core.NewCollector()
+		inc := core.NewCollector()
+		rb := NewRescan(a, spec, WithSink(base))
+		re := core.NewRAPQ(a, spec, core.WithSink(inc))
+
+		ts := int64(0)
+		for i := 0; i < 400; i++ {
+			ts += rng.Int63n(3)
+			tu := stream.Tuple{
+				TS:    ts,
+				Src:   stream.VertexID(rng.Intn(10)),
+				Dst:   stream.VertexID(rng.Intn(10)),
+				Label: stream.LabelID(rng.Intn(3)),
+			}
+			rb.Process(tu)
+			re.Process(tu)
+		}
+		bp, ip := base.Pairs(), inc.Pairs()
+		if len(bp) != len(ip) {
+			t.Fatalf("%q: baseline %d pairs, incremental %d pairs", expr, len(bp), len(ip))
+		}
+		for p := range bp {
+			if _, ok := ip[p]; !ok {
+				t.Fatalf("%q: pair %v only in baseline", expr, p)
+			}
+		}
+	}
+}
+
+func TestRescanDropsIrrelevant(t *testing.T) {
+	a := bindExpr(t, "a", "a", "b")
+	r := NewRescan(a, window.Spec{Size: 10, Slide: 1})
+	r.Process(stream.Tuple{TS: 1, Src: 1, Dst: 2, Label: 1})
+	if st := r.Stats(); st.TuplesDropped != 1 || st.Edges != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRescanDeleteStopsNewResults(t *testing.T) {
+	a := bindExpr(t, "a/b", "a", "b")
+	sink := core.NewCollector()
+	r := NewRescan(a, window.Spec{Size: 100, Slide: 1}, WithSink(sink))
+	r.Process(stream.Tuple{TS: 1, Src: 1, Dst: 2, Label: 0})
+	r.Process(stream.Tuple{TS: 2, Src: 1, Dst: 2, Label: 0, Op: stream.Delete})
+	r.Process(stream.Tuple{TS: 3, Src: 2, Dst: 3, Label: 1})
+	if len(sink.Pairs()) != 0 {
+		t.Fatalf("deleted edge still produced results: %v", sink.Pairs())
+	}
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"streamrpq/internal/automaton"
+	"streamrpq/internal/core"
+	"streamrpq/internal/pattern"
+	"streamrpq/internal/stream"
+	"streamrpq/internal/window"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero histogram not zero")
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != time.Microsecond || h.Max() != 1000*time.Microsecond {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+	mean := h.Mean()
+	if mean < 480*time.Microsecond || mean > 520*time.Microsecond {
+		t.Fatalf("mean = %v, want ≈500µs", mean)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	var samples []time.Duration
+	for i := 0; i < 50000; i++ {
+		// Log-uniform latencies from 100ns to 10ms.
+		d := time.Duration(float64(100) * pow(10, rng.Float64()*5))
+		h.Record(d)
+		samples = append(samples, d)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		got := h.Quantile(q)
+		want := ExactQuantile(samples, q)
+		ratio := float64(got) / float64(want)
+		if ratio < 0.90 || ratio > 1.10 {
+			t.Errorf("q=%.2f: histogram %v vs exact %v (ratio %.3f)", q, got, want, ratio)
+		}
+	}
+}
+
+func pow(base, exp float64) float64 {
+	r := 1.0
+	for exp >= 1 {
+		r *= base
+		exp--
+	}
+	// fractional part via simple approximation: base^exp = e^(exp ln base)
+	if exp > 0 {
+		// 3-term Taylor is fine for test data generation
+		ln := 2.302585092994046 // ln 10 (base is always 10 here)
+		x := exp * ln
+		r *= 1 + x + x*x/2 + x*x*x/6 + x*x*x*x/24
+	}
+	return r
+}
+
+func TestHistogramExtremeQuantiles(t *testing.T) {
+	var h Histogram
+	h.Record(5 * time.Millisecond)
+	h.Record(10 * time.Millisecond)
+	if h.Quantile(0) != 5*time.Millisecond {
+		t.Errorf("q0 = %v", h.Quantile(0))
+	}
+	if h.Quantile(1) != 10*time.Millisecond {
+		t.Errorf("q1 = %v", h.Quantile(1))
+	}
+}
+
+func TestHistogramZeroDuration(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(time.Nanosecond)
+	if h.Count() != 2 {
+		t.Fatal("zero duration dropped")
+	}
+	if h.Min() != 0 {
+		t.Fatalf("min = %v", h.Min())
+	}
+}
+
+func TestRun(t *testing.T) {
+	d := automaton.Compile(pattern.MustParse("a/b"))
+	bound := d.Bind(func(s string) int {
+		switch s {
+		case "a":
+			return 0
+		case "b":
+			return 1
+		}
+		return -1
+	}, 3)
+	engine := core.NewRAPQ(bound, window.Spec{Size: 100, Slide: 1})
+	tuples := []stream.Tuple{
+		{TS: 1, Src: 1, Dst: 2, Label: 0},
+		{TS: 2, Src: 2, Dst: 3, Label: 1},
+		{TS: 3, Src: 3, Dst: 4, Label: 2}, // irrelevant
+	}
+	res := Run(engine, tuples, RelevantLabels(bound.Relevant), "Qx", "toy")
+	if res.Tuples != 3 {
+		t.Fatalf("Tuples = %d", res.Tuples)
+	}
+	if res.Measured != 2 {
+		t.Fatalf("Measured = %d, want 2 (irrelevant tuple unmeasured)", res.Measured)
+	}
+	if res.Results != 1 {
+		t.Fatalf("Results = %d, want 1", res.Results)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("throughput not positive")
+	}
+	if res.String() == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,142 @@
+// Package bench measures streaming engines the way §5.1.1 of the paper
+// does: per-tuple processing latency (reported as tail latency, the
+// 99th percentile), throughput in edges per second, and probes of the
+// internal index sizes.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram is a log-bucketed latency histogram with ~4% relative
+// precision per bucket, bounded memory, and exact min/max tracking.
+// The zero value is ready to use.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+// bucketBase is the per-bucket growth factor; 1.04 gives ~4% relative
+// error and ~590 buckets for the ns..minute range.
+const bucketBase = 1.04
+
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return 1 + int(math.Log(float64(v))/math.Log(bucketBase))
+}
+
+func bucketValue(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return int64(math.Pow(bucketBase, float64(i)))
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	i := bucketIndex(v)
+	if i >= len(h.counts) {
+		grown := make([]uint64, i+16)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += float64(v)
+	if h.total == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the mean latency.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.total))
+}
+
+// Min and Max return the exact extreme observations.
+func (h *Histogram) Min() time.Duration { return time.Duration(h.min) }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns the latency at quantile q ∈ [0,1], accurate to the
+// bucket resolution (and exact at the extremes).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			v := bucketValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return time.Duration(v)
+		}
+	}
+	return h.Max()
+}
+
+// P50, P95, P99 are convenience accessors for the quantiles the
+// experiments report.
+func (h *Histogram) P50() time.Duration { return h.Quantile(0.50) }
+
+// P95 returns the 95th-percentile latency.
+func (h *Histogram) P95() time.Duration { return h.Quantile(0.95) }
+
+// P99 returns the tail latency the paper reports.
+func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.total, h.Mean(), h.P50(), h.P99(), h.Max())
+}
+
+// ExactQuantile computes a quantile from raw samples; used in tests to
+// validate the histogram approximation.
+func ExactQuantile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"streamrpq/internal/core"
+	"streamrpq/internal/stream"
+)
+
+// Result is the measurement of one engine over one stream: the numbers
+// behind every bar of Figures 4, 6, 8–11.
+type Result struct {
+	Query   string
+	Dataset string
+
+	Tuples   int64 // tuples offered
+	Measured int64 // tuples whose label is in ΣQ (latency is recorded for these)
+	Results  int64 // result pairs emitted
+
+	Elapsed    time.Duration
+	Throughput float64 // measured (relevant) edges per second
+
+	Mean time.Duration
+	P50  time.Duration
+	P95  time.Duration
+	P99  time.Duration // "tail latency" in the paper
+	Max  time.Duration
+
+	Trees      int // Δ index size at end of run
+	Nodes      int
+	ExpiryTime time.Duration
+	Stats      core.Stats
+}
+
+// String renders the one-line summary used by the CLI.
+func (r Result) String() string {
+	return fmt.Sprintf("%-8s %-6s %8.0f edges/s  p99=%-10v mean=%-10v results=%-8d trees=%-6d nodes=%d",
+		r.Query, r.Dataset, r.Throughput, r.P99, r.Mean, r.Results, r.Trees, r.Nodes)
+}
+
+// Relevance decides which tuples are measured. The paper only reports
+// latency "of tuples whose labels match a label in the given query".
+type Relevance func(t stream.Tuple) bool
+
+// Run replays the stream through the engine, timing each relevant
+// tuple individually.
+func Run(engine core.Engine, tuples []stream.Tuple, relevant Relevance, query, dataset string) Result {
+	var h Histogram
+	var measured int64
+	start := time.Now()
+	for _, t := range tuples {
+		if relevant != nil && !relevant(t) {
+			engine.Process(t)
+			continue
+		}
+		t0 := time.Now()
+		engine.Process(t)
+		h.Record(time.Since(t0))
+		measured++
+	}
+	elapsed := time.Since(start)
+
+	st := engine.Stats()
+	res := Result{
+		Query:      query,
+		Dataset:    dataset,
+		Tuples:     int64(len(tuples)),
+		Measured:   measured,
+		Results:    st.Results,
+		Elapsed:    elapsed,
+		Mean:       h.Mean(),
+		P50:        h.P50(),
+		P95:        h.P95(),
+		P99:        h.P99(),
+		Max:        h.Max(),
+		Trees:      st.Trees,
+		Nodes:      st.Nodes,
+		ExpiryTime: st.ExpiryTime,
+		Stats:      st,
+	}
+	if elapsed > 0 && measured > 0 {
+		// The prototype is a closed system: throughput is the inverse
+		// of mean processing latency (§5.1.1).
+		res.Throughput = float64(measured) / h.meanSeconds()
+	}
+	return res
+}
+
+func (h *Histogram) meanSeconds() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / 1e9
+}
+
+// RelevantLabels builds a Relevance predicate from a bound automaton's
+// label view.
+func RelevantLabels(isRelevant func(label int) bool) Relevance {
+	return func(t stream.Tuple) bool { return isRelevant(int(t.Label)) }
+}

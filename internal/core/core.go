@@ -1,0 +1,203 @@
+// Package core implements the streaming RPQ evaluation algorithms of
+// Pacaci, Bonifati and Özsu, "Regular Path Query Evaluation on
+// Streaming Graphs" (SIGMOD 2020):
+//
+//   - RAPQ (§3): incremental evaluation under arbitrary path semantics
+//     over sliding windows, via the Δ spanning-tree index (Algorithm
+//     RAPQ, Insert, ExpiryRAPQ).
+//   - Explicit deletions (§3.2): negative tuples handled with the same
+//     expiry machinery (Algorithm Delete).
+//   - RSPQ (§4): incremental evaluation under simple path semantics
+//     with conflict detection over the suffix-language containment
+//     relation (Algorithms RSPQ, Extend, Unmark, ExpiryRSPQ).
+//   - Batch oracles: the polynomial product-graph algorithm for
+//     arbitrary semantics and a simple-path enumerator, used both for
+//     testing and as the substrate of the rescan baseline (§5.6).
+package core
+
+import (
+	"time"
+
+	"streamrpq/internal/automaton"
+	"streamrpq/internal/graph"
+	"streamrpq/internal/stream"
+	"streamrpq/internal/window"
+)
+
+// Match is a query result: the pair (From, To) is connected by a path
+// whose label is in L(R) and whose edges are all inside one window.
+// TS is the stream time at which the result was discovered.
+type Match struct {
+	From stream.VertexID
+	To   stream.VertexID
+	TS   int64
+}
+
+// Pair identifies a result independent of discovery time.
+type Pair struct {
+	From stream.VertexID
+	To   stream.VertexID
+}
+
+// Sink receives the append-only result stream of a persistent query.
+// OnInvalidate is called only for results retracted by explicit
+// deletions (§3.2); window expiry never retracts results under the
+// implicit window semantics the engines implement.
+type Sink interface {
+	OnMatch(m Match)
+	OnInvalidate(m Match)
+}
+
+// Engine is a persistent RPQ evaluator: tuples go in, results flow to
+// the Sink.
+type Engine interface {
+	// Process consumes one streaming graph tuple (insert or delete).
+	Process(t stream.Tuple)
+	// Stats returns a snapshot of internal counters.
+	Stats() Stats
+	// Graph exposes the current snapshot graph (read-only use).
+	Graph() *graph.Graph
+}
+
+// Stats captures the internal state sizes and costs the paper reports
+// (Figures 5, 6(b), 9).
+type Stats struct {
+	Trees          int   // |Δ|: number of spanning trees
+	Nodes          int   // total nodes over all spanning trees
+	Edges          int   // edges in the snapshot graph
+	Vertices       int   // vertices in the snapshot graph
+	Results        int64 // results emitted (append-only stream length)
+	Invalidations  int64 // results retracted by explicit deletions
+	TuplesSeen     int64 // tuples offered to the engine
+	TuplesDropped  int64 // tuples whose label is outside ΣQ
+	ExpiryRuns     int64 // number of window-expiry passes
+	ExpiryTime     time.Duration
+	InsertCalls    int64 // invocations of Insert/Extend (amortized-cost probe)
+	ConflictsFound int64 // RSPQ only
+	Unmarkings     int64 // RSPQ only
+}
+
+// nodeKey packs a (vertex, automaton state) pair. State counts are
+// bounded by the DFA size, far below 2^16 in practice; Bind enforces
+// the dense id space.
+type nodeKey uint64
+
+func mkNodeKey(v stream.VertexID, s int32) nodeKey {
+	return nodeKey(uint64(v)<<16 | uint64(uint16(s)))
+}
+
+func (k nodeKey) vertex() stream.VertexID { return stream.VertexID(k >> 16) }
+func (k nodeKey) state() int32            { return int32(uint16(k)) }
+
+// config carries options shared by both engines.
+type config struct {
+	spec window.Spec
+	sink Sink
+	// maxExtends bounds the Extend cascade per tuple in the RSPQ
+	// engine as a safety valve against the NP-hard worst case; 0 means
+	// unlimited.
+	maxExtends int64
+	// scanAllTrees disables the RAPQ inverted index (ablation only).
+	scanAllTrees bool
+}
+
+// Option configures an engine.
+type Option func(*config)
+
+// WithSink directs the result stream to s. The default sink discards
+// results (useful for pure throughput benchmarks).
+func WithSink(s Sink) Option { return func(c *config) { c.sink = s } }
+
+// WithMaxExtends bounds the RSPQ Extend cascade per tuple (0 =
+// unlimited). The RAPQ engine ignores it.
+func WithMaxExtends(n int64) Option { return func(c *config) { c.maxExtends = n } }
+
+// WithoutInvertedIndex disables the vertex→trees inverted index in the
+// RAPQ engine, so every tuple visits every spanning tree (the literal
+// "foreach Tx ∈ Δ" of the pseudocode). Provided for the ablation
+// experiment quantifying the index's benefit; never use it otherwise.
+func WithoutInvertedIndex() Option { return func(c *config) { c.scanAllTrees = true } }
+
+// discardSink drops everything.
+type discardSink struct{}
+
+func (discardSink) OnMatch(Match)      {}
+func (discardSink) OnInvalidate(Match) {}
+
+// CollectorSink accumulates the result stream with set semantics: a
+// pair is live if it has been matched and not invalidated since.
+type CollectorSink struct {
+	Live    map[Pair]int64 // pair -> first TS at which currently live
+	Matched []Match        // full append-only match log
+	Retract []Match        // full invalidation log
+}
+
+// NewCollector returns an empty CollectorSink.
+func NewCollector() *CollectorSink {
+	return &CollectorSink{Live: make(map[Pair]int64)}
+}
+
+// OnMatch implements Sink.
+func (c *CollectorSink) OnMatch(m Match) {
+	c.Matched = append(c.Matched, m)
+	p := Pair{From: m.From, To: m.To}
+	if _, ok := c.Live[p]; !ok {
+		c.Live[p] = m.TS
+	}
+}
+
+// OnInvalidate implements Sink.
+func (c *CollectorSink) OnInvalidate(m Match) {
+	c.Retract = append(c.Retract, m)
+	delete(c.Live, Pair{From: m.From, To: m.To})
+}
+
+// Pairs returns the distinct pairs ever matched.
+func (c *CollectorSink) Pairs() map[Pair]struct{} {
+	out := make(map[Pair]struct{}, len(c.Matched))
+	for _, m := range c.Matched {
+		out[Pair{From: m.From, To: m.To}] = struct{}{}
+	}
+	return out
+}
+
+// CountingSink counts matches without retaining them.
+type CountingSink struct {
+	Matches       int64
+	Invalidations int64
+}
+
+// OnMatch implements Sink.
+func (c *CountingSink) OnMatch(Match) { c.Matches++ }
+
+// OnInvalidate implements Sink.
+func (c *CountingSink) OnInvalidate(Match) { c.Invalidations++ }
+
+// FuncSink adapts functions to the Sink interface. Nil fields are
+// no-ops.
+type FuncSink struct {
+	Match      func(Match)
+	Invalidate func(Match)
+}
+
+// OnMatch implements Sink.
+func (f FuncSink) OnMatch(m Match) {
+	if f.Match != nil {
+		f.Match(m)
+	}
+}
+
+// OnInvalidate implements Sink.
+func (f FuncSink) OnInvalidate(m Match) {
+	if f.Invalidate != nil {
+		f.Invalidate(m)
+	}
+}
+
+var (
+	_ Sink = (*CollectorSink)(nil)
+	_ Sink = (*CountingSink)(nil)
+	_ Sink = FuncSink{}
+	_ Sink = discardSink{}
+	_      = automaton.NoState
+)

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamrpq/internal/stream"
+	"streamrpq/internal/window"
+)
+
+// crossengine_test.go checks relationships that must hold *between*
+// the engines on identical inputs, complementing the per-engine oracle
+// tests.
+
+// TestSimpleSubsetOfArbitrary: every simple-path result is also an
+// arbitrary-path result (a simple path is a path), on random streams
+// with expiry and deletions.
+func TestSimpleSubsetOfArbitrary(t *testing.T) {
+	for _, expr := range []string{"a*", "(a/b)+", "a/b*", "(a|b)+"} {
+		rng := rand.New(rand.NewSource(1001))
+		a := bind(t, expr, "a", "b")
+		spec := window.Spec{Size: 25, Slide: 3}
+		arbSink, simSink := NewCollector(), NewCollector()
+		arb := NewRAPQ(a, spec, WithSink(arbSink))
+		sim := NewRSPQ(a, spec, WithSink(simSink))
+		for _, tu := range randomTuples(rng, 500, 9, 2, 2, 0.08) {
+			arb.Process(tu)
+			sim.Process(tu)
+		}
+		ap, sp := arbSink.Pairs(), simSink.Pairs()
+		for p := range sp {
+			if _, ok := ap[p]; !ok {
+				t.Fatalf("%q: simple-path result %v missing under arbitrary semantics", expr, p)
+			}
+		}
+		// The two semantics coincide for fixed-length queries shorter
+		// than any possible vertex repetition... they do NOT in
+		// general; only the subset relation is universal.
+		if len(sp) > len(ap) {
+			t.Fatalf("%q: simple results (%d) exceed arbitrary results (%d)", expr, len(sp), len(ap))
+		}
+	}
+}
+
+// TestEnginesAgreeOnDAGStreams: on acyclic graphs every path is
+// simple, so the two engines must produce identical result sets.
+// Acyclicity is enforced by only generating edges u -> v with u < v.
+func TestEnginesAgreeOnDAGStreams(t *testing.T) {
+	for _, expr := range []string{"(a/b)+", "a/b*", "a*", "a/b*/a"} {
+		rng := rand.New(rand.NewSource(2002))
+		a := bind(t, expr, "a", "b")
+		spec := window.Spec{Size: 30, Slide: 1}
+		arbSink, simSink := NewCollector(), NewCollector()
+		arb := NewRAPQ(a, spec, WithSink(arbSink))
+		sim := NewRSPQ(a, spec, WithSink(simSink))
+		ts := int64(0)
+		for i := 0; i < 500; i++ {
+			ts += rng.Int63n(3)
+			u := stream.VertexID(rng.Intn(9))
+			v := stream.VertexID(rng.Intn(9))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u // topological edge direction: acyclic
+			}
+			tu := stream.Tuple{TS: ts, Src: u, Dst: v, Label: stream.LabelID(rng.Intn(2))}
+			arb.Process(tu)
+			sim.Process(tu)
+		}
+		ap, sp := arbSink.Pairs(), simSink.Pairs()
+		if len(ap) != len(sp) {
+			t.Fatalf("%q: arbitrary %d pairs, simple %d pairs on a DAG", expr, len(ap), len(sp))
+		}
+		for p := range ap {
+			if _, ok := sp[p]; !ok {
+				t.Fatalf("%q: pair %v missing under simple semantics on a DAG", expr, p)
+			}
+		}
+	}
+}
+
+// TestEngineReuseAcrossEpochs: an engine must stay correct when the
+// stream runs far past several full window turnovers (the benchmark
+// harness wraps streams this way).
+func TestEngineReuseAcrossEpochs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3003))
+	a := bind(t, "(a/b)+", "a", "b")
+	spec := window.Spec{Size: 10, Slide: 2}
+	sink := NewCollector()
+	e := NewRAPQ(a, spec, WithSink(sink))
+	base := randomTuples(rng, 80, 6, 2, 1, 0)
+	span := base[len(base)-1].TS + 1
+	for epoch := int64(0); epoch < 5; epoch++ {
+		for _, tu := range base {
+			tu.TS += epoch * span
+			e.Process(tu)
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+	}
+	// The same graph content recurs each epoch, so the live window
+	// state must be bounded, not accumulating.
+	st := e.Stats()
+	if st.Edges > len(base) {
+		t.Fatalf("window holds %d edges after 5 epochs of an %d-tuple stream", st.Edges, len(base))
+	}
+	if st.ExpiryRuns == 0 {
+		t.Fatal("no expiry runs across epochs")
+	}
+}
+
+// TestRescanVsRSPQSoundness: the arbitrary-semantics rescan results
+// must contain every RSPQ result too (transitivity of the subset
+// relation through the batch oracle).
+func TestStatsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4004))
+	a := bind(t, "a/b*", "a", "b")
+	e := NewRAPQ(a, window.Spec{Size: 20, Slide: 2})
+	var lastSeen, lastResults int64
+	for _, tu := range randomTuples(rng, 300, 8, 2, 2, 0.1) {
+		e.Process(tu)
+		st := e.Stats()
+		if st.TuplesSeen < lastSeen || st.Results < lastResults {
+			t.Fatal("monotone counters decreased")
+		}
+		if st.Nodes < 0 || st.Trees < 0 || st.Edges < 0 {
+			t.Fatalf("negative sizes: %+v", st)
+		}
+		if st.Trees > 0 && st.Nodes < st.Trees {
+			t.Fatalf("fewer nodes (%d) than trees (%d): every tree has a root", st.Nodes, st.Trees)
+		}
+		lastSeen, lastResults = st.TuplesSeen, st.Results
+	}
+}

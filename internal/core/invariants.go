@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"streamrpq/internal/stream"
+)
+
+// CheckInvariants validates the structural invariants of the RAPQ Δ
+// index (Lemma 1 plus implementation-level bookkeeping). It is meant
+// for tests and debugging; it walks every tree and is O(|Δ|).
+//
+// Checked properties:
+//  1. Tree shape: every non-root node's parent exists in the same tree
+//     and lists the node as a child; the root is its own parent.
+//  2. Timestamp monotonicity: a child's timestamp never exceeds its
+//     parent's (path timestamps are minima over tree paths).
+//  3. Edge support: every tree edge whose child is still inside the
+//     window corresponds to a graph edge with a matching automaton
+//     transition such that the child's timestamp is min(parent.ts,
+//     edge.ts). Out-of-window nodes are exempt: under lazy expiration
+//     they linger until the next slide boundary and their support may
+//     have been refreshed past them in the meantime.
+//  4. Index consistency: per-tree vertex counts and the global
+//     inverted index agree with tree contents.
+func (e *RAPQ) CheckInvariants() error {
+	validFrom := e.win.Spec().ValidFrom(e.now)
+	invSeen := map[stream.VertexID]map[stream.VertexID]bool{}
+	for root, tx := range e.trees {
+		if tx.root != root {
+			return fmt.Errorf("tree keyed %d has root %d", root, tx.root)
+		}
+		rootKey := mkNodeKey(root, e.a.Start)
+		rootNode := tx.nodes[rootKey]
+		if rootNode == nil {
+			return fmt.Errorf("tree %d: root node missing", root)
+		}
+		if rootNode.parent != rootKey {
+			return fmt.Errorf("tree %d: root parent not self", root)
+		}
+		if rootNode.ts != rootTS {
+			return fmt.Errorf("tree %d: root ts = %d", root, rootNode.ts)
+		}
+		vcount := map[stream.VertexID]int32{}
+		for key, node := range tx.nodes {
+			if mkNodeKey(node.v, node.s) != key {
+				return fmt.Errorf("tree %d: node key mismatch (%d,%d) under %v", root, node.v, node.s, key)
+			}
+			vcount[node.v]++
+			if m := invSeen[node.v]; m == nil {
+				invSeen[node.v] = map[stream.VertexID]bool{root: true}
+			} else {
+				m[root] = true
+			}
+			if key == rootKey {
+				continue
+			}
+			parent := tx.nodes[node.parent]
+			if parent == nil {
+				return fmt.Errorf("tree %d: node (%d,%d) has dangling parent (%d,%d)",
+					root, node.v, node.s, node.parent.vertex(), node.parent.state())
+			}
+			if _, ok := parent.children[key]; !ok {
+				return fmt.Errorf("tree %d: parent (%d,%d) does not list child (%d,%d)",
+					root, parent.v, parent.s, node.v, node.s)
+			}
+			if node.ts > parent.ts {
+				return fmt.Errorf("tree %d: child (%d,%d).ts=%d exceeds parent (%d,%d).ts=%d",
+					root, node.v, node.s, node.ts, parent.v, parent.s, parent.ts)
+			}
+			// Edge support: some graph edge parent.v -> node.v with a
+			// transition parent.s -> node.s and min(parent.ts, edge.ts)
+			// == node.ts. Only meaningful for in-window nodes.
+			if node.ts > validFrom {
+				supported := false
+				e.g.Out(parent.v, func(dst stream.VertexID, l stream.LabelID, ts int64) bool {
+					if dst != node.v {
+						return true
+					}
+					if e.a.Trans[parent.s][l] != node.s {
+						return true
+					}
+					if min(parent.ts, ts) == node.ts {
+						supported = true
+						return false
+					}
+					return true
+				})
+				if !supported {
+					return fmt.Errorf("tree %d: tree edge (%d,%d)->(%d,%d) ts=%d has no supporting graph edge",
+						root, parent.v, parent.s, node.v, node.s, node.ts)
+				}
+			}
+			// Children must exist.
+			for ck := range node.children {
+				if tx.nodes[ck] == nil {
+					return fmt.Errorf("tree %d: node (%d,%d) lists dead child (%d,%d)",
+						root, node.v, node.s, ck.vertex(), ck.state())
+				}
+			}
+		}
+		for v, n := range vcount {
+			if tx.vcount[v] != n {
+				return fmt.Errorf("tree %d: vcount[%d]=%d, actual %d", root, v, tx.vcount[v], n)
+			}
+		}
+		for v, n := range tx.vcount {
+			if vcount[v] != n {
+				return fmt.Errorf("tree %d: vcount has stale vertex %d", root, v)
+			}
+		}
+	}
+	// Global inverted index must match union of trees.
+	for v, roots := range invSeen {
+		for root := range roots {
+			if _, ok := e.inv[v][root]; !ok {
+				return fmt.Errorf("inv[%d] missing root %d", v, root)
+			}
+		}
+	}
+	for v, roots := range e.inv {
+		for root := range roots {
+			if !invSeen[v][root] {
+				return fmt.Errorf("inv[%d] has stale root %d", v, root)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckInvariants validates the RSPQ tree structures: instance lists,
+// parent/child links, timestamp monotonicity, marking consistency
+// (marked keys have at least one live instance) and index bookkeeping.
+func (e *RSPQ) CheckInvariants() error {
+	invSeen := map[stream.VertexID]map[stream.VertexID]bool{}
+	for root, tx := range e.trees {
+		if tx.rootV != root {
+			return fmt.Errorf("tree keyed %d has root %d", root, tx.rootV)
+		}
+		if tx.root == nil || tx.root.dead {
+			return fmt.Errorf("tree %d: root missing or dead", root)
+		}
+		size := 0
+		vcount := map[stream.VertexID]int32{}
+		for key, insts := range tx.inst {
+			if len(insts) == 0 {
+				return fmt.Errorf("tree %d: empty instance list for (%d,%d)", root, key.vertex(), key.state())
+			}
+			for _, n := range insts {
+				if n.dead {
+					return fmt.Errorf("tree %d: dead instance (%d,%d) still indexed", root, n.v, n.s)
+				}
+				if mkNodeKey(n.v, n.s) != key {
+					return fmt.Errorf("tree %d: instance (%d,%d) under key (%d,%d)",
+						root, n.v, n.s, key.vertex(), key.state())
+				}
+				size++
+				vcount[n.v]++
+				if m := invSeen[n.v]; m == nil {
+					invSeen[n.v] = map[stream.VertexID]bool{root: true}
+				} else {
+					m[root] = true
+				}
+				if n == tx.root {
+					continue
+				}
+				if n.parent == nil {
+					return fmt.Errorf("tree %d: non-root instance (%d,%d) has nil parent", root, n.v, n.s)
+				}
+				if n.parent.dead {
+					return fmt.Errorf("tree %d: instance (%d,%d) has dead parent", root, n.v, n.s)
+				}
+				if _, ok := n.parent.children[n]; !ok {
+					return fmt.Errorf("tree %d: parent (%d,%d) does not list child (%d,%d)",
+						root, n.parent.v, n.parent.s, n.v, n.s)
+				}
+				if n.ts > n.parent.ts {
+					return fmt.Errorf("tree %d: child ts %d exceeds parent ts %d", root, n.ts, n.parent.ts)
+				}
+			}
+		}
+		if size != tx.size {
+			return fmt.Errorf("tree %d: size %d, counted %d", root, tx.size, size)
+		}
+		for v, n := range vcount {
+			if tx.vcount[v] != n {
+				return fmt.Errorf("tree %d: vcount[%d]=%d, actual %d", root, v, tx.vcount[v], n)
+			}
+		}
+		for key := range tx.marked {
+			if len(tx.inst[key]) == 0 {
+				return fmt.Errorf("tree %d: marked key (%d,%d) has no instances",
+					root, key.vertex(), key.state())
+			}
+		}
+	}
+	for v, roots := range e.inv {
+		for root := range roots {
+			if !invSeen[v][root] {
+				return fmt.Errorf("inv[%d] has stale root %d", v, root)
+			}
+		}
+	}
+	for v, roots := range invSeen {
+		for root := range roots {
+			if _, ok := e.inv[v][root]; !ok {
+				return fmt.Errorf("inv[%d] missing root %d", v, root)
+			}
+		}
+	}
+	return nil
+}

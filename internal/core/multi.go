@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"streamrpq/internal/automaton"
+	"streamrpq/internal/graph"
+	"streamrpq/internal/stream"
+	"streamrpq/internal/window"
+)
+
+// Multi evaluates several persistent RPQs over one streaming graph,
+// sharing the snapshot graph and the window machinery across queries —
+// the multi-query direction the paper lists as future work (§7).
+//
+// Sharing model: the window content G_{W,τ} is query-independent, so
+// it is stored once; each member query keeps its own Δ tree index and
+// result sink. A tuple is ingested into the shared graph if its label
+// is relevant to at least one member, and each member whose alphabet
+// contains the label updates its own index. All members must share the
+// same window specification (the snapshot is common).
+type Multi struct {
+	g       *graph.Graph
+	win     *window.Manager
+	members []*RAPQ
+	now     int64
+	seen    int64
+	dropped int64
+}
+
+// NewMulti creates a multi-query evaluator with the shared window
+// specification.
+func NewMulti(spec window.Spec) (*Multi, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Multi{
+		g:   graph.New(),
+		win: window.NewManager(spec),
+	}, nil
+}
+
+// Add registers one query and returns its engine (for Stats probes).
+// All member engines share the coordinator's snapshot graph. Queries
+// must be added before the first tuple is processed.
+func (m *Multi) Add(a *automaton.Bound, opts ...Option) (*RAPQ, error) {
+	if m.seen > 0 {
+		return nil, fmt.Errorf("core: Multi.Add after processing started")
+	}
+	// All members must be bound against the same dense label space:
+	// the shared graph stores any label relevant to any member, and
+	// each member indexes its transition tables by those ids.
+	if len(m.members) > 0 && len(a.ByLabel) != len(m.members[0].a.ByLabel) {
+		return nil, fmt.Errorf("core: label space mismatch: %d vs %d labels",
+			len(a.ByLabel), len(m.members[0].a.ByLabel))
+	}
+	e := NewRAPQ(a, m.win.Spec(), opts...)
+	e.g = m.g // share the snapshot graph
+	m.members = append(m.members, e)
+	return e, nil
+}
+
+// Len returns the number of registered queries.
+func (m *Multi) Len() int { return len(m.members) }
+
+// Graph exposes the shared snapshot graph.
+func (m *Multi) Graph() *graph.Graph { return m.g }
+
+// Process routes one tuple to every member whose alphabet contains its
+// label. Graph and window maintenance happen exactly once regardless
+// of the number of queries.
+func (m *Multi) Process(t stream.Tuple) {
+	m.seen++
+	if t.TS > m.now {
+		m.now = t.TS
+	}
+	if deadline, due := m.win.Observe(t.TS); due {
+		m.g.Expire(deadline, nil)
+		for _, e := range m.members {
+			e.ApplyExpiry(deadline)
+		}
+	}
+	relevant := false
+	for _, e := range m.members {
+		if e.a.Relevant(int(t.Label)) {
+			relevant = true
+			break
+		}
+	}
+	if !relevant {
+		m.dropped++
+		return
+	}
+	if t.Op == stream.Delete {
+		if !m.g.Delete(t.Key()) {
+			return
+		}
+		for _, e := range m.members {
+			if e.a.Relevant(int(t.Label)) {
+				e.ApplyDelete(t)
+			}
+		}
+		return
+	}
+	m.g.Insert(t.Src, t.Dst, t.Label, t.TS)
+	for _, e := range m.members {
+		if e.a.Relevant(int(t.Label)) {
+			e.ApplyInsert(t)
+		}
+	}
+}
+
+// Stats aggregates member statistics; Edges/Vertices describe the
+// shared graph.
+func (m *Multi) Stats() Stats {
+	var s Stats
+	for _, e := range m.members {
+		ms := e.Stats()
+		s.Trees += ms.Trees
+		s.Nodes += ms.Nodes
+		s.Results += ms.Results
+		s.Invalidations += ms.Invalidations
+		s.InsertCalls += ms.InsertCalls
+		s.ExpiryRuns += ms.ExpiryRuns
+		s.ExpiryTime += ms.ExpiryTime
+	}
+	s.TuplesSeen = m.seen
+	s.TuplesDropped = m.dropped
+	s.Edges = m.g.NumEdges()
+	s.Vertices = m.g.NumVertices()
+	return s
+}
+
+var _ Engine = (*Multi)(nil)

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"streamrpq/internal/automaton"
+	"streamrpq/internal/graph"
+	"streamrpq/internal/stream"
+	"streamrpq/internal/window"
+)
+
+// ParallelRAPQ reproduces the intra-query parallelism of the paper's
+// prototype (§5.1.1): "RAPQ algorithms employ intra-query parallelism
+// by deploying a thread pool to process multiple spanning trees in
+// parallel that are accessed for each incoming edge. Window management
+// is parallelized similarly."
+//
+// Spanning trees are disjoint, so per-tuple tree updates and per-slide
+// tree expiries run concurrently across a worker pool; the snapshot
+// graph is updated once per tuple before the fan-out, and shared
+// bookkeeping (the inverted index and the result sink) is protected by
+// a mutex. The sink observes results from multiple workers; ordering
+// within a tuple is unspecified, matching the paper's prototype.
+type ParallelRAPQ struct {
+	inner   *RAPQ
+	workers int
+
+	mu sync.Mutex // guards inner.inv and the sink during fan-out
+}
+
+// NewParallelRAPQ returns a tree-parallel RAPQ engine with the given
+// worker count (0 means GOMAXPROCS).
+func NewParallelRAPQ(a *automaton.Bound, spec window.Spec, workers int, opts ...Option) *ParallelRAPQ {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &ParallelRAPQ{workers: workers}
+	p.inner = NewRAPQ(a, spec, opts...)
+	return p
+}
+
+// Graph implements Engine.
+func (p *ParallelRAPQ) Graph() *graph.Graph { return p.inner.g }
+
+// Stats implements Engine.
+func (p *ParallelRAPQ) Stats() Stats { return p.inner.Stats() }
+
+// Process implements Engine. The per-tuple work fans out over the
+// spanning trees that contain the tuple's source vertex; expiry fans
+// out over all trees.
+func (p *ParallelRAPQ) Process(t stream.Tuple) {
+	e := p.inner
+	e.stats.TuplesSeen++
+	if t.TS > e.now {
+		e.now = t.TS
+	}
+	if deadline, due := e.win.Observe(t.TS); due {
+		p.expireAllParallel(deadline)
+	}
+	if !e.a.Relevant(int(t.Label)) {
+		e.stats.TuplesDropped++
+		return
+	}
+	if t.Op == stream.Delete {
+		// Deletions are rare (§5.4); process them sequentially with
+		// the uniform machinery.
+		if e.g.Delete(t.Key()) {
+			e.ApplyDelete(t)
+		}
+		return
+	}
+	p.processInsertParallel(t)
+}
+
+// treeShard is the unit of parallel work: one spanning tree.
+func (p *ParallelRAPQ) processInsertParallel(t stream.Tuple) {
+	e := p.inner
+	e.g.Insert(t.Src, t.Dst, t.Label, t.TS)
+	validFrom := e.win.Spec().ValidFrom(e.now)
+
+	if e.a.Step(e.a.Start, int(t.Label)) != automaton.NoState {
+		e.ensureTree(t.Src)
+	}
+	roots := make([]stream.VertexID, 0, len(e.inv[t.Src]))
+	for root := range e.inv[t.Src] {
+		roots = append(roots, root)
+	}
+	if len(roots) == 0 {
+		return
+	}
+	// Small fan-outs are cheaper sequentially.
+	if len(roots) < 2*p.workers {
+		for _, root := range roots {
+			p.updateTree(root, t, validFrom, nil)
+		}
+		return
+	}
+
+	var wg sync.WaitGroup
+	work := make(chan stream.VertexID, len(roots))
+	for _, r := range roots {
+		work <- r
+	}
+	close(work)
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := &treeWorker{p: p}
+			for root := range work {
+				p.updateTree(root, t, validFrom, local)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// treeWorker carries per-goroutine scratch state.
+type treeWorker struct {
+	p     *ParallelRAPQ
+	stack []insertOp
+}
+
+// updateTree applies the tuple to a single spanning tree. When local
+// is nil the caller is single-threaded and the engine's shared scratch
+// is used; otherwise a per-worker scratch stack is used and shared
+// structures are mutated under the mutex.
+func (p *ParallelRAPQ) updateTree(root stream.VertexID, t stream.Tuple, validFrom int64, local *treeWorker) {
+	e := p.inner
+	p.mu.Lock()
+	tx := e.trees[root]
+	p.mu.Unlock()
+	if tx == nil {
+		return
+	}
+	for _, tr := range e.a.ByLabel[t.Label] {
+		parent, ok := tx.nodes[mkNodeKey(t.Src, tr.From)]
+		if !ok || parent.ts <= validFrom {
+			continue
+		}
+		if local == nil {
+			e.insert(tx, parent, t.Dst, tr.To, t.TS, validFrom)
+		} else {
+			p.insertLocked(tx, parent, t.Dst, tr.To, t.TS, validFrom, local)
+		}
+	}
+}
+
+// insertLocked is Algorithm Insert with a per-worker stack; shared
+// mutations (inverted index, result emission, counters) take the
+// engine mutex. Tree-local mutations are safe: each tree is owned by
+// exactly one worker for the duration of the tuple.
+func (p *ParallelRAPQ) insertLocked(tx *tree, parent *treeNode, v stream.VertexID, t int32, edgeTS int64, validFrom int64, w *treeWorker) {
+	e := p.inner
+	stack := w.stack[:0]
+	stack = append(stack, insertOp{parent: mkNodeKey(parent.v, parent.s), v: v, t: t, edgeTS: edgeTS})
+
+	for len(stack) > 0 {
+		op := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		par := tx.nodes[op.parent]
+		if par == nil {
+			continue
+		}
+		newTS := min(op.edgeTS, par.ts)
+		key := mkNodeKey(op.v, op.t)
+		node, exists := tx.nodes[key]
+		if exists && node.ts >= newTS {
+			continue
+		}
+
+		if exists {
+			e.detach(tx, node)
+			node.ts = newTS
+			node.parent = op.parent
+			e.attach(par, key)
+		} else {
+			node = &treeNode{v: op.v, s: op.t, ts: newTS, parent: op.parent}
+			tx.nodes[key] = node
+			e.attach(par, key)
+			tx.vcount[op.v]++
+			p.mu.Lock()
+			e.stats.InsertCalls++
+			if tx.vcount[op.v] == 1 {
+				e.addInv(op.v, tx.root)
+			}
+			if e.a.Final[op.t] {
+				e.stats.Results++
+				e.sink.OnMatch(Match{From: tx.root, To: op.v, TS: e.now})
+			}
+			p.mu.Unlock()
+		}
+
+		e.g.Out(op.v, func(dst stream.VertexID, l stream.LabelID, ts int64) bool {
+			if ts <= validFrom {
+				return true
+			}
+			q := e.a.Trans[op.t][l]
+			if q == automaton.NoState {
+				return true
+			}
+			childTS := min(node.ts, ts)
+			if child, ok := tx.nodes[mkNodeKey(dst, q)]; !ok || child.ts < childTS {
+				stack = append(stack, insertOp{parent: key, v: dst, t: q, edgeTS: ts})
+			}
+			return true
+		})
+	}
+	w.stack = stack[:0]
+}
+
+// expireAllParallel fans the per-tree expiry pass over the worker pool
+// ("window management is parallelized similarly").
+func (p *ParallelRAPQ) expireAllParallel(deadline int64) {
+	e := p.inner
+	start := time.Now()
+	defer func() { e.stats.ExpiryTime += time.Since(start) }()
+	e.stats.ExpiryRuns++
+	e.deadline = deadline
+	e.g.Expire(deadline, nil)
+
+	roots := make([]stream.VertexID, 0, len(e.trees))
+	for root := range e.trees {
+		roots = append(roots, root)
+	}
+	var wg sync.WaitGroup
+	work := make(chan stream.VertexID, len(roots))
+	for _, r := range roots {
+		work <- r
+	}
+	close(work)
+	var gcMu sync.Mutex
+	var gc []stream.VertexID
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for root := range work {
+				tx := e.trees[root]
+				p.expireTreeLocked(tx, deadline)
+				if len(tx.nodes) == 1 {
+					gcMu.Lock()
+					gc = append(gc, root)
+					gcMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, root := range gc {
+		tx := e.trees[root]
+		if tx != nil && len(tx.nodes) == 1 {
+			e.remove(tx, mkNodeKey(root, e.a.Start), tx.nodes[mkNodeKey(root, e.a.Start)])
+			delete(e.trees, root)
+		}
+	}
+}
+
+// expireTreeLocked is ExpiryRAPQ over one tree with inverted-index
+// updates under the mutex. Graph reads are safe: the graph is not
+// mutated during the fan-out.
+func (p *ParallelRAPQ) expireTreeLocked(tx *tree, deadline int64) {
+	e := p.inner
+	var candidates []nodeKey
+	for key, node := range tx.nodes {
+		if node.ts <= deadline {
+			candidates = append(candidates, key)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	for _, key := range candidates {
+		node := tx.nodes[key]
+		e.detach(tx, node)
+		delete(tx.nodes, key)
+		tx.vcount[node.v]--
+		if tx.vcount[node.v] == 0 {
+			delete(tx.vcount, node.v)
+			p.mu.Lock()
+			e.dropInv(node.v, tx.root)
+			p.mu.Unlock()
+		}
+	}
+	w := &treeWorker{p: p}
+	for _, key := range candidates {
+		if _, back := tx.nodes[key]; back {
+			continue
+		}
+		v, t := key.vertex(), key.state()
+		e.g.In(v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
+			if ts <= deadline {
+				return true
+			}
+			rt := e.rev[l]
+			if rt == nil {
+				return true
+			}
+			for _, s := range rt[t] {
+				parent, ok := tx.nodes[mkNodeKey(u, s)]
+				if !ok || parent.ts <= deadline {
+					continue
+				}
+				p.insertLocked(tx, parent, v, t, ts, deadline, w)
+				if _, back := tx.nodes[key]; back {
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// CheckInvariants delegates to the sequential checker.
+func (p *ParallelRAPQ) CheckInvariants() error { return p.inner.CheckInvariants() }
+
+var _ Engine = (*ParallelRAPQ)(nil)

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"streamrpq/internal/graph"
+	"streamrpq/internal/stream"
+	"streamrpq/internal/window"
+)
+
+// lockedCollector is a CollectorSink safe for concurrent emission.
+type lockedCollector struct {
+	mu sync.Mutex
+	c  *CollectorSink
+}
+
+func (l *lockedCollector) OnMatch(m Match) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.OnMatch(m)
+}
+
+func (l *lockedCollector) OnInvalidate(m Match) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.OnInvalidate(m)
+}
+
+// TestParallelMatchesSequential: the tree-parallel engine must produce
+// exactly the same cumulative result set as the sequential engine.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		for _, q := range []struct {
+			expr   string
+			labels []string
+		}{
+			{"(a/b)+", []string{"a", "b", "c"}},
+			{"a*", []string{"a", "b", "c"}},
+			{"a/b*/c", []string{"a", "b", "c"}},
+		} {
+			rng := rand.New(rand.NewSource(404))
+			a := bind(t, q.expr, q.labels...)
+			spec := window.Spec{Size: 30, Slide: 3}
+
+			seq := NewCollector()
+			par := &lockedCollector{c: NewCollector()}
+			se := NewRAPQ(a, spec, WithSink(seq))
+			pe := NewParallelRAPQ(a, spec, workers, WithSink(par))
+
+			tuples := randomTuples(rng, 800, 12, 3, 2, 0.1)
+			for _, tu := range tuples {
+				se.Process(tu)
+				pe.Process(tu)
+			}
+			sp, pp := seq.Pairs(), par.c.Pairs()
+			if len(sp) != len(pp) {
+				t.Fatalf("workers=%d %q: sequential %d pairs, parallel %d",
+					workers, q.expr, len(sp), len(pp))
+			}
+			for p := range sp {
+				if _, ok := pp[p]; !ok {
+					t.Fatalf("workers=%d %q: pair %v missing from parallel run", workers, q.expr, p)
+				}
+			}
+			if err := pe.CheckInvariants(); err != nil {
+				t.Fatalf("workers=%d %q: %v", workers, q.expr, err)
+			}
+		}
+	}
+}
+
+// TestParallelOracle validates the parallel engine against the batch
+// oracle directly (soundness + completeness of the cumulative stream).
+func TestParallelOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	a := bind(t, "(a/b)+", "a", "b")
+	spec := window.Spec{Size: 20, Slide: 1}
+	sink := &lockedCollector{c: NewCollector()}
+	pe := NewParallelRAPQ(a, spec, 4, WithSink(sink))
+
+	oracle := graph.New()
+	want := map[Pair]struct{}{}
+	tuples := randomTuples(rng, 300, 8, 2, 2, 0)
+	for i, tu := range tuples {
+		pe.Process(tu)
+		oracle.Insert(tu.Src, tu.Dst, tu.Label, tu.TS)
+		oracle.Expire(tu.TS-spec.Size, nil)
+		snap := BatchArbitrary(oracle, a, tu.TS-spec.Size)
+		for p := range snap {
+			want[p] = struct{}{}
+		}
+		got := sink.c.Pairs()
+		for p := range snap {
+			if _, ok := got[p]; !ok {
+				t.Fatalf("tuple %d: oracle pair %v missing", i, p)
+			}
+		}
+		for p := range got {
+			if _, ok := want[p]; !ok {
+				t.Fatalf("tuple %d: spurious pair %v", i, p)
+			}
+		}
+	}
+}
+
+func TestParallelWorkerDefault(t *testing.T) {
+	a := bind(t, "a", "a")
+	pe := NewParallelRAPQ(a, window.Spec{Size: 10, Slide: 1}, 0)
+	if pe.workers <= 0 {
+		t.Fatalf("workers = %d", pe.workers)
+	}
+	pe.Process(stream.Tuple{TS: 1, Src: 1, Dst: 2, Label: 0})
+	if pe.Stats().Results != 1 {
+		t.Fatalf("Results = %d", pe.Stats().Results)
+	}
+}

@@ -1,0 +1,518 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"streamrpq/internal/automaton"
+	"streamrpq/internal/graph"
+	"streamrpq/internal/stream"
+	"streamrpq/internal/window"
+)
+
+// rootTS is the timestamp of tree roots: the root represents the empty
+// path, which never expires.
+const rootTS = int64(math.MaxInt64)
+
+// expiredTS marks nodes cut off by an explicit deletion (§3.2): it is
+// below every window deadline, so the expiry pass treats them as
+// expired candidates.
+const expiredTS = int64(math.MinInt64)
+
+// treeNode is a node (vertex, state) of a spanning tree Tx ∈ Δ. Its
+// timestamp is the minimum edge timestamp along the tree path from the
+// root (Definition 9's path timestamp).
+type treeNode struct {
+	v        stream.VertexID
+	s        int32
+	ts       int64
+	parent   nodeKey
+	children map[nodeKey]struct{}
+}
+
+// tree is one spanning tree Tx of the Δ index, rooted at (x, s0). The
+// second invariant of Lemma 1 guarantees each (vertex,state) node
+// appears at most once, so nodes are keyed by nodeKey.
+type tree struct {
+	root   stream.VertexID
+	nodes  map[nodeKey]*treeNode
+	vcount map[stream.VertexID]int32 // instances per vertex, for the inverted index
+}
+
+// RAPQ is the incremental engine for Regular Arbitrary Path Queries
+// over sliding windows (Algorithm RAPQ, §3.1), with explicit-deletion
+// support (Algorithm Delete, §3.2).
+type RAPQ struct {
+	a    *automaton.Bound
+	g    *graph.Graph
+	win  *window.Manager
+	sink Sink
+
+	trees map[stream.VertexID]*tree                        // Δ: root vertex -> spanning tree
+	inv   map[stream.VertexID]map[stream.VertexID]struct{} // vertex -> roots of trees containing it
+
+	// rev[label] lists transitions grouped by target state for expiry
+	// reconnection: rev[label][t] = states s with δ(s,label)=t.
+	rev [][][]int32
+
+	now      int64 // largest timestamp seen
+	deadline int64 // last expiry deadline (W^e - |W|)
+	stats    Stats
+
+	// scanAllTrees disables the inverted index (vertex → trees) and
+	// makes every tuple visit every spanning tree, as a naive
+	// implementation of the paper's pseudocode would ("foreach Tx ∈ Δ").
+	// Exists for the ablation experiment; keep it off otherwise.
+	scanAllTrees bool
+
+	// insertStack is reused across tuples to avoid per-tuple
+	// allocation of the explicit DFS stack.
+	insertStack []insertOp
+	// scratch root ids snapshot
+	rootScratch []stream.VertexID
+}
+
+type insertOp struct {
+	parent nodeKey
+	v      stream.VertexID
+	t      int32
+	edgeTS int64
+}
+
+// NewRAPQ returns a RAPQ engine for the bound automaton and window
+// specification.
+func NewRAPQ(a *automaton.Bound, spec window.Spec, opts ...Option) *RAPQ {
+	cfg := config{spec: spec, sink: discardSink{}}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	rev := make([][][]int32, len(a.ByLabel))
+	for l, trans := range a.ByLabel {
+		if len(trans) == 0 {
+			continue
+		}
+		byTarget := make([][]int32, a.K)
+		for _, tr := range trans {
+			byTarget[tr.To] = append(byTarget[tr.To], tr.From)
+		}
+		rev[l] = byTarget
+	}
+	return &RAPQ{
+		a:            a,
+		g:            graph.New(),
+		win:          window.NewManager(spec),
+		sink:         cfg.sink,
+		trees:        make(map[stream.VertexID]*tree),
+		inv:          make(map[stream.VertexID]map[stream.VertexID]struct{}),
+		rev:          rev,
+		scanAllTrees: cfg.scanAllTrees,
+	}
+}
+
+// Graph implements Engine.
+func (e *RAPQ) Graph() *graph.Graph { return e.g }
+
+// Stats implements Engine.
+func (e *RAPQ) Stats() Stats {
+	s := e.stats
+	s.Trees = len(e.trees)
+	s.Nodes = 0
+	for _, tx := range e.trees {
+		s.Nodes += len(tx.nodes)
+	}
+	s.Edges = e.g.NumEdges()
+	s.Vertices = e.g.NumVertices()
+	return s
+}
+
+// Now returns the largest stream timestamp processed so far.
+func (e *RAPQ) Now() int64 { return e.now }
+
+// Process implements Engine: Algorithm RAPQ for insertions, Algorithm
+// Delete for negative tuples, with ExpiryRAPQ at slide boundaries.
+func (e *RAPQ) Process(t stream.Tuple) {
+	e.stats.TuplesSeen++
+	if t.TS > e.now {
+		e.now = t.TS
+	}
+	// Lazy expiration at slide boundaries (§2: eager evaluation, lazy
+	// expiration).
+	if deadline, due := e.win.Observe(t.TS); due {
+		e.g.Expire(deadline, nil)
+		e.ApplyExpiry(deadline)
+	}
+	// Drop tuples whose label is outside ΣQ: they can never be part of
+	// a resulting path (§5.2).
+	if !e.a.Relevant(int(t.Label)) {
+		e.stats.TuplesDropped++
+		return
+	}
+	if t.Op == stream.Delete {
+		if e.g.Delete(t.Key()) {
+			e.ApplyDelete(t)
+		}
+		return
+	}
+	e.g.Insert(t.Src, t.Dst, t.Label, t.TS)
+	e.ApplyInsert(t)
+}
+
+// ApplyInsert is Algorithm RAPQ lines 3–13: it updates the Δ index for
+// an inserted edge that is already present in the snapshot graph. Most
+// callers use Process; the multi-query coordinator calls ApplyInsert
+// directly after updating the shared graph once.
+func (e *RAPQ) ApplyInsert(t stream.Tuple) {
+	if t.TS > e.now {
+		e.now = t.TS
+	}
+	validFrom := e.win.Spec().ValidFrom(e.now)
+
+	// Lazily materialize the tree rooted at the source vertex if the
+	// label moves the automaton out of the start state: Δ conceptually
+	// holds a tree for every vertex, but only trees that can grow past
+	// their root are represented.
+	if e.a.Step(e.a.Start, int(t.Label)) != automaton.NoState {
+		e.ensureTree(t.Src)
+	}
+
+	// Snapshot the candidate trees: insertion cascades may add this
+	// vertex to further trees, but those cascades already see the new
+	// edge in the graph, so they need no re-processing here. With the
+	// inverted index disabled (ablation), every tree is a candidate.
+	e.rootScratch = e.rootScratch[:0]
+	if e.scanAllTrees {
+		for root := range e.trees {
+			e.rootScratch = append(e.rootScratch, root)
+		}
+	} else {
+		for root := range e.inv[t.Src] {
+			e.rootScratch = append(e.rootScratch, root)
+		}
+	}
+
+	for _, root := range e.rootScratch {
+		tx := e.trees[root]
+		if tx == nil {
+			continue
+		}
+		for _, tr := range e.a.ByLabel[t.Label] {
+			parent, ok := tx.nodes[mkNodeKey(t.Src, tr.From)]
+			if !ok || parent.ts <= validFrom {
+				continue // line 6: parent must be in the window
+			}
+			e.insert(tx, parent, t.Dst, tr.To, t.TS, validFrom)
+		}
+	}
+}
+
+// ensureTree materializes Tx with its root node (x, s0).
+func (e *RAPQ) ensureTree(x stream.VertexID) *tree {
+	if tx, ok := e.trees[x]; ok {
+		return tx
+	}
+	tx := &tree{
+		root:   x,
+		nodes:  make(map[nodeKey]*treeNode),
+		vcount: make(map[stream.VertexID]int32),
+	}
+	rk := mkNodeKey(x, e.a.Start)
+	tx.nodes[rk] = &treeNode{v: x, s: e.a.Start, ts: rootTS, parent: rk}
+	tx.vcount[x] = 1
+	e.trees[x] = tx
+	e.addInv(x, x)
+	// A start state that is also final means the empty path matches;
+	// RPQ answers are conventionally over paths of length ≥ 1, and
+	// (x,x) via ε is reported by neither the paper nor this engine.
+	return tx
+}
+
+func (e *RAPQ) addInv(v, root stream.VertexID) {
+	m := e.inv[v]
+	if m == nil {
+		m = make(map[stream.VertexID]struct{})
+		e.inv[v] = m
+	}
+	m[root] = struct{}{}
+}
+
+func (e *RAPQ) dropInv(v, root stream.VertexID) {
+	m := e.inv[v]
+	if m == nil {
+		return
+	}
+	delete(m, root)
+	if len(m) == 0 {
+		delete(e.inv, v)
+	}
+}
+
+// insert is Algorithm Insert, run with an explicit stack. It adds
+// (v,t) to tx as a child of parent (or improves its timestamp and
+// re-parents it), reports results for final states, and expands the
+// node's out-edges transitively.
+//
+// Deviation from the paper (documented in DESIGN.md): timestamp
+// improvements of existing nodes are propagated recursively rather than
+// left to the expiry pass; propagation is guarded by a strict timestamp
+// increase, so total work stays within the amortized bound.
+func (e *RAPQ) insert(tx *tree, parent *treeNode, v stream.VertexID, t int32, edgeTS int64, validFrom int64) {
+	stack := e.insertStack[:0]
+	stack = append(stack, insertOp{parent: mkNodeKey(parent.v, parent.s), v: v, t: t, edgeTS: edgeTS})
+
+	for len(stack) > 0 {
+		op := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		par := tx.nodes[op.parent]
+		if par == nil {
+			continue
+		}
+		newTS := min(op.edgeTS, par.ts)
+		key := mkNodeKey(op.v, op.t)
+		node, exists := tx.nodes[key]
+		if exists && node.ts >= newTS {
+			continue // line 7/9: no improvement possible
+		}
+		e.stats.InsertCalls++
+
+		if exists {
+			// Timestamp refresh: re-parent to the fresher path.
+			e.detach(tx, node)
+			node.ts = newTS
+			node.parent = op.parent
+			e.attach(par, key)
+		} else {
+			node = &treeNode{v: op.v, s: op.t, ts: newTS, parent: op.parent}
+			tx.nodes[key] = node
+			e.attach(par, key)
+			tx.vcount[op.v]++
+			if tx.vcount[op.v] == 1 {
+				e.addInv(op.v, tx.root)
+			}
+			if e.a.Final[op.t] {
+				e.emit(tx.root, op.v) // line 6 of Insert
+			}
+		}
+
+		// Lines 8–10: expand out-edges of v that are inside the window.
+		e.g.Out(op.v, func(w stream.VertexID, l stream.LabelID, ts int64) bool {
+			if ts <= validFrom {
+				return true // expired edge, not in W_{G,τ}
+			}
+			q := e.a.Trans[op.t][l]
+			if q == automaton.NoState {
+				return true
+			}
+			childTS := min(node.ts, ts)
+			if child, ok := tx.nodes[mkNodeKey(w, q)]; !ok || child.ts < childTS {
+				stack = append(stack, insertOp{parent: key, v: w, t: q, edgeTS: ts})
+			}
+			return true
+		})
+	}
+	e.insertStack = stack[:0]
+}
+
+func (e *RAPQ) attach(parent *treeNode, child nodeKey) {
+	if parent.children == nil {
+		parent.children = make(map[nodeKey]struct{})
+	}
+	parent.children[child] = struct{}{}
+}
+
+// detach unlinks node from its current parent (the node stays in the
+// tree maps).
+func (e *RAPQ) detach(tx *tree, node *treeNode) {
+	if par := tx.nodes[node.parent]; par != nil {
+		delete(par.children, mkNodeKey(node.v, node.s))
+	}
+}
+
+// remove deletes the node from the tree entirely, maintaining the
+// inverted index.
+func (e *RAPQ) remove(tx *tree, key nodeKey, node *treeNode) {
+	e.detach(tx, node)
+	delete(tx.nodes, key)
+	tx.vcount[node.v]--
+	if tx.vcount[node.v] == 0 {
+		delete(tx.vcount, node.v)
+		e.dropInv(node.v, tx.root)
+	}
+}
+
+// emit reports a result pair.
+func (e *RAPQ) emit(x, v stream.VertexID) {
+	e.stats.Results++
+	e.sink.OnMatch(Match{From: x, To: v, TS: e.now})
+}
+
+// ApplyExpiry runs ExpiryRAPQ over every tree for a slide-boundary
+// deadline. The caller is responsible for expiring the snapshot graph
+// first (Process does; the multi-query coordinator expires the shared
+// graph once).
+func (e *RAPQ) ApplyExpiry(deadline int64) {
+	start := time.Now()
+	e.stats.ExpiryRuns++
+	e.deadline = deadline
+	for root, tx := range e.trees {
+		e.expireTree(tx, deadline, false)
+		if len(tx.nodes) == 1 { // root-only: no valid start edge remains
+			e.remove(tx, mkNodeKey(root, e.a.Start), tx.nodes[mkNodeKey(root, e.a.Start)])
+			delete(e.trees, root)
+		}
+	}
+	e.stats.ExpiryTime += time.Since(start)
+}
+
+// expireTree is Algorithm ExpiryRAPQ for one spanning tree.
+func (e *RAPQ) expireTree(tx *tree, deadline int64, invalidate bool) {
+	// Line 2: candidates with out-of-window timestamps. A child's
+	// timestamp never exceeds its parent's, so candidates form whole
+	// subtrees.
+	var candidates []nodeKey
+	for key, node := range tx.nodes {
+		if node.ts <= deadline {
+			candidates = append(candidates, key)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	// Line 3: prune all candidates from the tree.
+	removed := make(map[nodeKey]*treeNode, len(candidates))
+	for _, key := range candidates {
+		node := tx.nodes[key]
+		removed[key] = node
+		e.remove(tx, key, node)
+	}
+	// Lines 4–9: try to reconnect each candidate through a valid edge
+	// from a valid node. Insert re-adds reachable descendants with
+	// fresh timestamps.
+	for _, key := range candidates {
+		if _, back := tx.nodes[key]; back {
+			continue // reconnected as part of an earlier cascade
+		}
+		v, t := key.vertex(), key.state()
+		byTarget := e.rev // rev[label][t] = sources
+		e.g.In(v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
+			if ts <= deadline {
+				return true
+			}
+			rt := byTarget[l]
+			if rt == nil {
+				return true
+			}
+			for _, s := range rt[t] {
+				parent, ok := tx.nodes[mkNodeKey(u, s)]
+				if !ok || parent.ts <= deadline {
+					continue
+				}
+				e.insert(tx, parent, v, t, ts, deadline)
+				if _, back := tx.nodes[key]; back {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	if !invalidate {
+		return
+	}
+	// Lines 11–15: report invalidated results (used for explicit
+	// deletions only). A pair (x,v) is retracted only when no final
+	// node for v survives in the tree.
+	for key, node := range removed {
+		if _, back := tx.nodes[key]; back {
+			continue
+		}
+		if !e.a.Final[node.s] {
+			continue
+		}
+		if e.hasFinalNode(tx, node.v) {
+			continue
+		}
+		e.stats.Invalidations++
+		e.sink.OnInvalidate(Match{From: tx.root, To: node.v, TS: e.now})
+	}
+}
+
+// hasFinalNode reports whether any (v, sf) with sf ∈ F remains in tx.
+func (e *RAPQ) hasFinalNode(tx *tree, v stream.VertexID) bool {
+	for s := int32(0); s < int32(e.a.K); s++ {
+		if !e.a.Final[s] {
+			continue
+		}
+		if _, ok := tx.nodes[mkNodeKey(v, s)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyDelete is Algorithm Delete (§3.2): explicit deletion via the
+// expiry machinery. The edge must already have been removed from the
+// snapshot graph (Process does this; the multi-query coordinator
+// removes it from the shared graph once).
+func (e *RAPQ) ApplyDelete(t stream.Tuple) {
+	if t.TS > e.now {
+		e.now = t.TS
+	}
+	validFrom := e.win.Spec().ValidFrom(e.now)
+
+	e.rootScratch = e.rootScratch[:0]
+	for root := range e.inv[t.Src] {
+		e.rootScratch = append(e.rootScratch, root)
+	}
+	for _, root := range e.rootScratch {
+		tx := e.trees[root]
+		if tx == nil {
+			continue
+		}
+		touched := false
+		rootKey := mkNodeKey(tx.root, e.a.Start)
+		// Lines 2–8: find tree edges matching the deleted edge and mark
+		// their subtrees as expired.
+		for _, tr := range e.a.ByLabel[t.Label] {
+			childKey := mkNodeKey(t.Dst, tr.To)
+			if childKey == rootKey {
+				continue // the root has no incoming tree edge (its
+				// parent pointer is a self-sentinel)
+			}
+			child, ok := tx.nodes[childKey]
+			if !ok || child.parent != mkNodeKey(t.Src, tr.From) {
+				continue // not a tree edge w.r.t. Tx (Definition 13)
+			}
+			e.markSubtree(tx, mkNodeKey(t.Dst, tr.To))
+			touched = true
+		}
+		if !touched {
+			continue // deleting a non-tree edge leaves Tx unchanged
+		}
+		// Line 9: uniform handling through ExpiryRAPQ.
+		e.expireTree(tx, validFrom, true)
+		if len(tx.nodes) == 1 {
+			e.remove(tx, mkNodeKey(tx.root, e.a.Start), tx.nodes[mkNodeKey(tx.root, e.a.Start)])
+			delete(e.trees, root)
+		}
+	}
+}
+
+// markSubtree sets the timestamps of the subtree rooted at key to -∞,
+// marking every node in it as expired (Algorithm Delete lines 4–7).
+func (e *RAPQ) markSubtree(tx *tree, key nodeKey) {
+	stack := []nodeKey{key}
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		node := tx.nodes[k]
+		if node == nil {
+			continue
+		}
+		node.ts = expiredTS
+		for child := range node.children {
+			stack = append(stack, child)
+		}
+	}
+}
+
+var _ Engine = (*RAPQ)(nil)

@@ -1,0 +1,602 @@
+package core
+
+import (
+	"time"
+
+	"streamrpq/internal/automaton"
+	"streamrpq/internal/graph"
+	"streamrpq/internal/stream"
+	"streamrpq/internal/window"
+)
+
+// spNode is a node instance in an RSPQ spanning tree. Unlike the RAPQ
+// index, a (vertex, state) pair may have multiple instances in the same
+// tree when conflicts force re-traversal (§4.1), so instances carry
+// explicit parent pointers and identity.
+type spNode struct {
+	v        stream.VertexID
+	s        int32
+	ts       int64
+	parent   *spNode
+	children map[*spNode]struct{}
+	dead     bool // detached by expiry or deletion
+}
+
+// sptree is one spanning tree of the RSPQ engine, with its set of
+// markings Mx.
+type sptree struct {
+	rootV  stream.VertexID
+	root   *spNode
+	inst   map[nodeKey][]*spNode // live instances per (vertex,state)
+	marked map[nodeKey]struct{}  // Mx
+	vcount map[stream.VertexID]int32
+	size   int // live instances, including the root
+}
+
+// RSPQ is the incremental engine for Regular Simple Path Queries over
+// sliding windows (Algorithms RSPQ, Extend, Unmark, ExpiryRSPQ in §4).
+// In the absence of conflicts it matches the amortized complexity of
+// the RAPQ engine; with conflicts the problem is NP-hard and the engine
+// may take exponential time (bounded by WithMaxExtends if set).
+type RSPQ struct {
+	a    *automaton.Bound
+	g    *graph.Graph
+	win  *window.Manager
+	sink Sink
+
+	trees map[stream.VertexID]*sptree
+	inv   map[stream.VertexID]map[stream.VertexID]struct{}
+	rev   [][][]int32 // rev[label][t] = states s with δ(s,label)=t
+
+	now        int64
+	stats      Stats
+	maxExtends int64
+	extends    int64 // extends so far for the current tuple
+	budgetHit  bool  // some tuple exceeded maxExtends
+
+	instScratch []*spNode
+	rootScratch []stream.VertexID
+}
+
+// NewRSPQ returns an RSPQ engine for the bound automaton and window
+// specification.
+func NewRSPQ(a *automaton.Bound, spec window.Spec, opts ...Option) *RSPQ {
+	cfg := config{spec: spec, sink: discardSink{}}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	rev := make([][][]int32, len(a.ByLabel))
+	for l, trans := range a.ByLabel {
+		if len(trans) == 0 {
+			continue
+		}
+		byTarget := make([][]int32, a.K)
+		for _, tr := range trans {
+			byTarget[tr.To] = append(byTarget[tr.To], tr.From)
+		}
+		rev[l] = byTarget
+	}
+	return &RSPQ{
+		a:          a,
+		g:          graph.New(),
+		win:        window.NewManager(spec),
+		sink:       cfg.sink,
+		trees:      make(map[stream.VertexID]*sptree),
+		inv:        make(map[stream.VertexID]map[stream.VertexID]struct{}),
+		rev:        rev,
+		maxExtends: cfg.maxExtends,
+	}
+}
+
+// Graph implements Engine.
+func (e *RSPQ) Graph() *graph.Graph { return e.g }
+
+// Stats implements Engine.
+func (e *RSPQ) Stats() Stats {
+	s := e.stats
+	s.Trees = len(e.trees)
+	s.Nodes = 0
+	for _, tx := range e.trees {
+		s.Nodes += tx.size
+	}
+	s.Edges = e.g.NumEdges()
+	s.Vertices = e.g.NumVertices()
+	return s
+}
+
+// Now returns the largest stream timestamp processed so far.
+func (e *RSPQ) Now() int64 { return e.now }
+
+// BudgetExceeded reports whether any tuple's Extend cascade was cut off
+// by WithMaxExtends. Once true, the engine's results may be incomplete
+// — §4 shows the underlying problem is NP-hard in the presence of
+// conflicts, and the experiment drivers use this flag to report a query
+// as infeasible under simple path semantics.
+func (e *RSPQ) BudgetExceeded() bool { return e.budgetHit }
+
+// Process implements Engine.
+func (e *RSPQ) Process(t stream.Tuple) {
+	e.stats.TuplesSeen++
+	if t.TS > e.now {
+		e.now = t.TS
+	}
+	if deadline, due := e.win.Observe(t.TS); due {
+		e.expireAll(deadline, false)
+	}
+	if !e.a.Relevant(int(t.Label)) {
+		e.stats.TuplesDropped++
+		return
+	}
+	e.extends = 0
+	if t.Op == stream.Delete {
+		e.processDelete(t)
+		return
+	}
+	e.processInsert(t)
+}
+
+// processInsert is Algorithm RSPQ lines 3–13.
+func (e *RSPQ) processInsert(t stream.Tuple) {
+	e.g.Insert(t.Src, t.Dst, t.Label, t.TS)
+	validFrom := e.win.Spec().ValidFrom(e.now)
+
+	if e.a.Step(e.a.Start, int(t.Label)) != automaton.NoState {
+		e.ensureTree(t.Src)
+	}
+
+	e.rootScratch = e.rootScratch[:0]
+	for root := range e.inv[t.Src] {
+		e.rootScratch = append(e.rootScratch, root)
+	}
+	for _, root := range e.rootScratch {
+		tx := e.trees[root]
+		if tx == nil {
+			continue
+		}
+		for _, tr := range e.a.ByLabel[t.Label] {
+			// Snapshot the instance list: Extend may append to it, and
+			// freshly created instances have already seen the new edge
+			// through their own expansion.
+			e.instScratch = append(e.instScratch[:0], tx.inst[mkNodeKey(t.Src, tr.From)]...)
+			for _, p := range e.instScratch {
+				if p.dead || p.ts <= validFrom {
+					continue
+				}
+				// Line 8 guards: no product cycle on the prefix path,
+				// and the target is not marked.
+				if pathVisits(p, t.Dst, tr.To) {
+					continue
+				}
+				if _, m := tx.marked[mkNodeKey(t.Dst, tr.To)]; m {
+					continue
+				}
+				e.extend(tx, p, t.Dst, tr.To, t.TS, validFrom)
+			}
+		}
+	}
+}
+
+func (e *RSPQ) ensureTree(x stream.VertexID) *sptree {
+	if tx, ok := e.trees[x]; ok {
+		return tx
+	}
+	root := &spNode{v: x, s: e.a.Start, ts: rootTS}
+	tx := &sptree{
+		rootV:  x,
+		root:   root,
+		inst:   map[nodeKey][]*spNode{mkNodeKey(x, e.a.Start): {root}},
+		marked: make(map[nodeKey]struct{}),
+		vcount: map[stream.VertexID]int32{x: 1},
+		size:   1,
+	}
+	e.trees[x] = tx
+	e.addInv(x, x)
+	return tx
+}
+
+func (e *RSPQ) addInv(v, root stream.VertexID) {
+	m := e.inv[v]
+	if m == nil {
+		m = make(map[stream.VertexID]struct{})
+		e.inv[v] = m
+	}
+	m[root] = struct{}{}
+}
+
+func (e *RSPQ) dropInv(v, root stream.VertexID) {
+	m := e.inv[v]
+	if m == nil {
+		return
+	}
+	delete(m, root)
+	if len(m) == 0 {
+		delete(e.inv, v)
+	}
+}
+
+// pathVisits reports whether the prefix path ending at p visits vertex
+// v in state t (the cycle guard t ∈ p[v]).
+func pathVisits(p *spNode, v stream.VertexID, t int32) bool {
+	for n := p; n != nil; n = n.parent {
+		if n.v == v && n.s == t {
+			return true
+		}
+	}
+	return false
+}
+
+// firstStateAt returns the state of the first occurrence of vertex v on
+// the prefix path ending at p (FIRST(p[v]) in the paper), walking from
+// p to the root and keeping the last match seen.
+func firstStateAt(p *spNode, v stream.VertexID) (int32, bool) {
+	var state int32
+	found := false
+	for n := p; n != nil; n = n.parent {
+		if n.v == v {
+			state = n.s
+			found = true
+		}
+	}
+	return state, found
+}
+
+// extend is Algorithm Extend: it attempts to grow the prefix path
+// ending at parent with the node (v,t) reached over an edge with
+// timestamp edgeTS.
+func (e *RSPQ) extend(tx *sptree, parent *spNode, v stream.VertexID, t int32, edgeTS int64, validFrom int64) {
+	if e.maxExtends > 0 {
+		if e.extends >= e.maxExtends {
+			e.budgetHit = true
+			return // safety valve; results may be incomplete from here on
+		}
+		e.extends++
+	}
+	e.stats.InsertCalls++
+
+	// Lines 2–3: conflict detection between the first state visiting v
+	// on this path and t, via suffix-language containment.
+	if q, ok := firstStateAt(parent, v); ok && !e.a.Cont[q][t] {
+		e.stats.ConflictsFound++
+		e.unmark(tx, parent, validFrom)
+		return
+	}
+
+	// A path returning to the root vertex is never simple (the root is
+	// the first vertex of every path), and in the containment case just
+	// handled every continuation from (x,t) is subsumed by traversals
+	// from the root (x,s0) itself: [s0] ⊇ [t]. Extending would emit the
+	// spurious pair (x,x), whose only witness is the empty path.
+	if v == tx.rootV {
+		return
+	}
+
+	// Lines 5–13: extend the path.
+	if e.a.Final[t] {
+		e.emit(tx.rootV, v)
+	}
+	key := mkNodeKey(v, t)
+	if len(tx.inst[key]) == 0 {
+		tx.marked[key] = struct{}{} // line 9: first instance gets marked
+	}
+	node := &spNode{v: v, s: t, ts: min(edgeTS, parent.ts), parent: parent}
+	if parent.children == nil {
+		parent.children = make(map[*spNode]struct{})
+	}
+	parent.children[node] = struct{}{}
+	tx.inst[key] = append(tx.inst[key], node)
+	tx.size++
+	tx.vcount[v]++
+	if tx.vcount[v] == 1 {
+		e.addInv(v, tx.rootV)
+	}
+
+	// Lines 14–18: expand out-edges inside the window.
+	e.g.Out(v, func(w stream.VertexID, l stream.LabelID, ts int64) bool {
+		if ts <= validFrom {
+			return true
+		}
+		r := e.a.Trans[t][l]
+		if r == automaton.NoState {
+			return true
+		}
+		if pathVisits(node, w, r) {
+			return true // line 15: r ∈ pnew[w]
+		}
+		if _, m := tx.marked[mkNodeKey(w, r)]; m {
+			return true // line 15: (w,r) ∈ Mx
+		}
+		e.extend(tx, node, w, r, ts, validFrom)
+		return true
+	})
+}
+
+// unmark is Algorithm Unmark: starting from the end of the prefix path
+// it removes markings from the maximal marked suffix of ancestors, then
+// re-explores the incoming edges of every unmarked node, since paths
+// through them may have been pruned by case 2 of Algorithm RSPQ.
+func (e *RSPQ) unmark(tx *sptree, last *spNode, validFrom int64) {
+	var queue []nodeKey
+	for n := last; n != nil; n = n.parent {
+		key := mkNodeKey(n.v, n.s)
+		if _, m := tx.marked[key]; !m {
+			break // lines 2–6: stop at the first unmarked ancestor
+		}
+		delete(tx.marked, key)
+		e.stats.Unmarkings++
+		queue = append(queue, key)
+	}
+	// Lines 7–13: for each unmarked (v,t), re-run the traversals that
+	// were pruned while it was marked.
+	for _, key := range queue {
+		v, t := key.vertex(), key.state()
+		e.g.In(v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
+			if ts <= validFrom {
+				return true
+			}
+			rt := e.rev[l]
+			if rt == nil {
+				return true
+			}
+			for _, s := range rt[t] {
+				cands := append([]*spNode(nil), tx.inst[mkNodeKey(u, s)]...)
+				for _, p := range cands {
+					if p.dead || p.ts <= validFrom {
+						continue
+					}
+					if pathVisits(p, v, t) {
+						continue
+					}
+					if _, m := tx.marked[mkNodeKey(v, t)]; m {
+						continue // re-marked during this cascade
+					}
+					if hasEquivalentChild(p, v, t, min(ts, p.ts)) {
+						continue // identical extension already present
+					}
+					e.extend(tx, p, v, t, ts, validFrom)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// hasEquivalentChild reports whether parent already has a live child
+// instance (v,t) with a timestamp at least ts. Such a child covers
+// exactly the same prefix-path constraints, so re-extending would build
+// a duplicate subtree. This guard is an optimization over the paper's
+// pseudocode; it never prunes a traversal that could discover new
+// results.
+func hasEquivalentChild(parent *spNode, v stream.VertexID, t int32, ts int64) bool {
+	for c := range parent.children {
+		if !c.dead && c.v == v && c.s == t && c.ts >= ts {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *RSPQ) emit(x, v stream.VertexID) {
+	e.stats.Results++
+	e.sink.OnMatch(Match{From: x, To: v, TS: e.now})
+}
+
+// expireAll runs ExpiryRSPQ over every tree and purges expired edges
+// from the snapshot graph.
+func (e *RSPQ) expireAll(deadline int64, invalidate bool) {
+	start := time.Now()
+	e.stats.ExpiryRuns++
+	e.g.Expire(deadline, nil)
+	for root, tx := range e.trees {
+		e.expireTree(tx, deadline, invalidate)
+		if tx.size == 1 {
+			e.removeNode(tx, tx.root)
+			delete(e.trees, root)
+		}
+	}
+	e.stats.ExpiryTime += time.Since(start)
+}
+
+// expireTree is Algorithm ExpiryRSPQ for one spanning tree.
+func (e *RSPQ) expireTree(tx *sptree, deadline int64, invalidate bool) {
+	// Line 2: expired instances. Children of an expired instance are
+	// themselves expired (path timestamps are non-increasing).
+	var expired []*spNode
+	for _, insts := range tx.inst {
+		for _, n := range insts {
+			if n.ts <= deadline {
+				expired = append(expired, n)
+			}
+		}
+	}
+	if len(expired) == 0 {
+		return
+	}
+	// Remember parents for the re-marking pass (lines 12–14).
+	type removedInfo struct {
+		key    nodeKey
+		parent *spNode
+	}
+	infos := make([]removedInfo, 0, len(expired))
+	// Lines 3–5: prune Tx and Mx. The paper reconnects only marked
+	// candidates (P ← Mx ∩ E), arguing that unmarking already
+	// re-explored the incoming edges of unmarked nodes; under explicit
+	// deletions that argument breaks when the alternative instances
+	// created by Unmark sit in the deleted subtree themselves, so we
+	// attempt reconnection for every key that lost its last instance.
+	candidates := make(map[nodeKey]struct{})
+	for _, n := range expired {
+		key := mkNodeKey(n.v, n.s)
+		candidates[key] = struct{}{}
+		infos = append(infos, removedInfo{key: key, parent: n.parent})
+		e.removeNode(tx, n)
+	}
+	for key := range candidates {
+		if len(tx.inst[key]) > 0 {
+			delete(candidates, key) // a live instance survives; stays marked
+		} else {
+			delete(tx.marked, key) // Mx ← Mx \ E
+		}
+	}
+	// Lines 6–11: reconnect marked candidates through valid edges.
+	validFrom := deadline
+	for key := range candidates {
+		v, t := key.vertex(), key.state()
+		e.g.In(v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
+			if ts <= validFrom {
+				return true
+			}
+			rt := e.rev[l]
+			if rt == nil {
+				return true
+			}
+			for _, s := range rt[t] {
+				cands := append([]*spNode(nil), tx.inst[mkNodeKey(u, s)]...)
+				for _, p := range cands {
+					if p.dead || p.ts <= validFrom {
+						continue
+					}
+					if pathVisits(p, v, t) {
+						continue
+					}
+					if _, m := tx.marked[key]; m {
+						return false // reconnected (extend re-marks first instances)
+					}
+					if hasEquivalentChild(p, v, t, min(ts, p.ts)) {
+						continue
+					}
+					e.extend(tx, p, v, t, ts, validFrom)
+				}
+			}
+			return true
+		})
+	}
+	// Lines 12–18: re-marking of parents whose conflicting descendants
+	// expired, and result invalidation.
+	seenInvalid := make(map[stream.VertexID]struct{})
+	for _, info := range infos {
+		if len(tx.inst[info.key]) > 0 {
+			continue // some instance survives or was reconnected
+		}
+		if p := info.parent; p != nil && !p.dead && p.parent != nil {
+			if allChildrenMarked(tx, p) {
+				tx.marked[mkNodeKey(p.v, p.s)] = struct{}{}
+			}
+		}
+		v, t := info.key.vertex(), info.key.state()
+		if invalidate && e.a.Final[t] {
+			if _, dup := seenInvalid[v]; !dup && !e.hasFinalInstance(tx, v) {
+				seenInvalid[v] = struct{}{}
+				e.stats.Invalidations++
+				e.sink.OnInvalidate(Match{From: tx.rootV, To: v, TS: e.now})
+			}
+		}
+	}
+}
+
+func allChildrenMarked(tx *sptree, p *spNode) bool {
+	for c := range p.children {
+		if c.dead {
+			continue
+		}
+		if _, m := tx.marked[mkNodeKey(c.v, c.s)]; !m {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *RSPQ) hasFinalInstance(tx *sptree, v stream.VertexID) bool {
+	for s := int32(0); s < int32(e.a.K); s++ {
+		if e.a.Final[s] && len(tx.inst[mkNodeKey(v, s)]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// removeNode detaches one instance from the tree and updates all
+// indexes. Descendants are not touched; callers remove them separately
+// (expiry collects whole subtrees because timestamps are monotone).
+func (e *RSPQ) removeNode(tx *sptree, n *spNode) {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	if n.parent != nil {
+		delete(n.parent.children, n)
+	}
+	key := mkNodeKey(n.v, n.s)
+	insts := tx.inst[key]
+	for i, m := range insts {
+		if m == n {
+			insts[i] = insts[len(insts)-1]
+			insts = insts[:len(insts)-1]
+			break
+		}
+	}
+	if len(insts) == 0 {
+		delete(tx.inst, key)
+	} else {
+		tx.inst[key] = insts
+	}
+	tx.size--
+	tx.vcount[n.v]--
+	if tx.vcount[n.v] == 0 {
+		delete(tx.vcount, n.v)
+		e.dropInv(n.v, tx.rootV)
+	}
+}
+
+// processDelete handles negative tuples with the expiry machinery, as
+// §4.1 prescribes ("the algorithm RSPQ processes explicit deletions in
+// the same manner as its RAPQ counterpart").
+func (e *RSPQ) processDelete(t stream.Tuple) {
+	if !e.g.Delete(t.Key()) {
+		return
+	}
+	validFrom := e.win.Spec().ValidFrom(e.now)
+
+	e.rootScratch = e.rootScratch[:0]
+	for root := range e.inv[t.Src] {
+		e.rootScratch = append(e.rootScratch, root)
+	}
+	for _, root := range e.rootScratch {
+		tx := e.trees[root]
+		if tx == nil {
+			continue
+		}
+		touched := false
+		for _, tr := range e.a.ByLabel[t.Label] {
+			for _, c := range tx.inst[mkNodeKey(t.Dst, tr.To)] {
+				p := c.parent
+				if p == nil || p.dead || p.v != t.Src || p.s != tr.From {
+					continue
+				}
+				markSubtreeExpired(c)
+				touched = true
+			}
+		}
+		if !touched {
+			continue
+		}
+		e.expireTree(tx, validFrom, true)
+		if tx.size == 1 {
+			e.removeNode(tx, tx.root)
+			delete(e.trees, root)
+		}
+	}
+}
+
+func markSubtreeExpired(n *spNode) {
+	stack := []*spNode{n}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cur.ts = expiredTS
+		for c := range cur.children {
+			stack = append(stack, c)
+		}
+	}
+}
+
+var _ Engine = (*RSPQ)(nil)

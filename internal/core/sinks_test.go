@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"streamrpq/internal/graph"
+	"streamrpq/internal/stream"
+)
+
+func TestCollectorSinkSemantics(t *testing.T) {
+	c := NewCollector()
+	c.OnMatch(Match{From: 1, To: 2, TS: 10})
+	c.OnMatch(Match{From: 1, To: 2, TS: 12}) // duplicate keeps first TS
+	c.OnMatch(Match{From: 3, To: 4, TS: 11})
+	if len(c.Matched) != 3 {
+		t.Fatalf("Matched log = %d entries", len(c.Matched))
+	}
+	if ts := c.Live[Pair{From: 1, To: 2}]; ts != 10 {
+		t.Fatalf("live TS = %d, want first discovery 10", ts)
+	}
+	c.OnInvalidate(Match{From: 1, To: 2, TS: 15})
+	if _, ok := c.Live[Pair{From: 1, To: 2}]; ok {
+		t.Fatal("invalidated pair still live")
+	}
+	if len(c.Retract) != 1 {
+		t.Fatalf("Retract log = %d", len(c.Retract))
+	}
+	// Pairs() reports everything ever matched, including retracted.
+	if len(c.Pairs()) != 2 {
+		t.Fatalf("Pairs = %v", c.Pairs())
+	}
+	// Re-match after invalidation becomes live again.
+	c.OnMatch(Match{From: 1, To: 2, TS: 20})
+	if ts := c.Live[Pair{From: 1, To: 2}]; ts != 20 {
+		t.Fatalf("revived TS = %d, want 20", ts)
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	var c CountingSink
+	c.OnMatch(Match{})
+	c.OnMatch(Match{})
+	c.OnInvalidate(Match{})
+	if c.Matches != 2 || c.Invalidations != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestFuncSinkNilFields(t *testing.T) {
+	// Nil callbacks must be safe.
+	var f FuncSink
+	f.OnMatch(Match{})
+	f.OnInvalidate(Match{})
+}
+
+func TestBatchFromVariants(t *testing.T) {
+	a := bind(t, "(a/b)+", "a", "b")
+	g := graph.New()
+	// x -a-> y -b-> z -a-> w -b-> x (a 4-cycle alternating a/b).
+	g.Insert(0, 1, 0, 1)
+	g.Insert(1, 2, 1, 2)
+	g.Insert(2, 3, 0, 3)
+	g.Insert(3, 0, 1, 4)
+
+	arb := BatchArbitraryFrom(g, a, 0, -1)
+	// From x: z after ab, x after abab, then cycling z,x forever — the
+	// reachable final-state vertices are exactly {z, x}.
+	if len(arb) != 2 {
+		t.Fatalf("arbitrary from x: %v", arb)
+	}
+	for _, v := range []stream.VertexID{2, 0} {
+		if _, ok := arb[v]; !ok {
+			t.Fatalf("missing %d in %v", v, arb)
+		}
+	}
+
+	simple := BatchSimpleFrom(g, a, 0, -1)
+	// Simple paths from x cannot revisit x, so only z qualifies.
+	if len(simple) != 1 {
+		t.Fatalf("simple from x: %v", simple)
+	}
+	if _, ok := simple[stream.VertexID(2)]; !ok {
+		t.Fatalf("missing z in %v", simple)
+	}
+}

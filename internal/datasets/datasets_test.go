@@ -1,0 +1,224 @@
+package datasets
+
+import (
+	"testing"
+
+	"streamrpq/internal/automaton"
+	"streamrpq/internal/stream"
+)
+
+func checkMonotone(t *testing.T, tuples []stream.Tuple) {
+	t.Helper()
+	last := int64(-1 << 62)
+	for i, tu := range tuples {
+		if tu.TS < last {
+			t.Fatalf("tuple %d: timestamp %d < %d", i, tu.TS, last)
+		}
+		last = tu.TS
+	}
+}
+
+func TestSOGenerator(t *testing.T) {
+	d := SO(DefaultSO(5000))
+	if len(d.Tuples) != 5000 {
+		t.Fatalf("generated %d tuples, want 5000", len(d.Tuples))
+	}
+	checkMonotone(t, d.Tuples)
+	if len(d.Labels) != 3 {
+		t.Fatalf("SO must have 3 labels, got %d", len(d.Labels))
+	}
+	// Every label must occur (broad queries cover all edges on SO).
+	seen := map[stream.LabelID]int{}
+	for _, tu := range d.Tuples {
+		seen[tu.Label]++
+		if int(tu.Label) >= len(d.Labels) {
+			t.Fatalf("label id %d out of range", tu.Label)
+		}
+	}
+	for l := 0; l < 3; l++ {
+		if seen[stream.LabelID(l)] == 0 {
+			t.Errorf("label %d never generated", l)
+		}
+	}
+	// Cyclicity: reply-backs must create a meaningful number of
+	// reciprocated vertex pairs.
+	fwd := map[[2]stream.VertexID]bool{}
+	recip := 0
+	for _, tu := range d.Tuples {
+		if fwd[[2]stream.VertexID{tu.Dst, tu.Src}] {
+			recip++
+		}
+		fwd[[2]stream.VertexID{tu.Src, tu.Dst}] = true
+	}
+	if recip < len(d.Tuples)/10 {
+		t.Errorf("only %d reciprocated edges in %d — SO should be highly cyclic", recip, len(d.Tuples))
+	}
+}
+
+func TestSODeterministic(t *testing.T) {
+	a := SO(DefaultSO(1000))
+	b := SO(DefaultSO(1000))
+	if len(a.Tuples) != len(b.Tuples) {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a.Tuples {
+		if a.Tuples[i] != b.Tuples[i] {
+			t.Fatalf("tuple %d differs: %v vs %v", i, a.Tuples[i], b.Tuples[i])
+		}
+	}
+}
+
+func TestLDBCGenerator(t *testing.T) {
+	d := LDBC(DefaultLDBC(5000))
+	if len(d.Tuples) == 0 || len(d.Tuples) > 5000 {
+		t.Fatalf("generated %d tuples", len(d.Tuples))
+	}
+	checkMonotone(t, d.Tuples)
+	if len(d.Labels) != 8 {
+		t.Fatalf("LDBC must have 8 labels, got %d", len(d.Labels))
+	}
+	counts := map[stream.LabelID]int{}
+	for _, tu := range d.Tuples {
+		counts[tu.Label]++
+	}
+	// The two recursive relations must be present and frequent.
+	if counts[ldbcKnows] == 0 || counts[ldbcReplyOf] == 0 {
+		t.Fatalf("knows=%d replyOf=%d; both must occur", counts[ldbcKnows], counts[ldbcReplyOf])
+	}
+	// replyOf chains: replies reference existing messages, so there
+	// must exist paths replyOf/replyOf (reply depth ≥ 2).
+	parents := map[stream.VertexID]stream.VertexID{}
+	depth2 := 0
+	for _, tu := range d.Tuples {
+		if tu.Label == ldbcReplyOf {
+			if _, ok := parents[tu.Dst]; ok {
+				depth2++
+			}
+			parents[tu.Src] = tu.Dst
+		}
+	}
+	if depth2 == 0 {
+		t.Error("no replyOf chains of depth 2 — recursion untestable")
+	}
+}
+
+func TestYagoGenerator(t *testing.T) {
+	d := Yago(DefaultYago(5000))
+	if len(d.Tuples) != 5000 {
+		t.Fatalf("generated %d tuples", len(d.Tuples))
+	}
+	checkMonotone(t, d.Tuples)
+	if len(d.Labels) != 100 {
+		t.Fatalf("Yago must have 100 labels, got %d", len(d.Labels))
+	}
+	// Table 3 bindings must be present by name.
+	for _, name := range []string{"happenedIn", "hasCapital", "participatedIn", "dealtWith"} {
+		if d.LabelID(name) < 0 {
+			t.Errorf("label %q missing", name)
+		}
+	}
+	// Fixed-rate timestamps: equal numbers of edges per tick.
+	perTick := map[int64]int{}
+	lastTick := int64(0)
+	for _, tu := range d.Tuples {
+		perTick[tu.TS]++
+		if tu.TS > lastTick {
+			lastTick = tu.TS
+		}
+	}
+	for ts, n := range perTick {
+		if n != 16 && ts != lastTick { // the final tick may be partial
+			t.Fatalf("tick %d has %d edges, want 16 (fixed rate)", ts, n)
+		}
+	}
+	// Zipf label skew: the most frequent label should dominate.
+	counts := map[stream.LabelID]int{}
+	for _, tu := range d.Tuples {
+		counts[tu.Label]++
+	}
+	if counts[0] < len(d.Tuples)/10 {
+		t.Errorf("label skew too flat: label 0 has %d of %d", counts[0], len(d.Tuples))
+	}
+}
+
+func TestWithDeletions(t *testing.T) {
+	d := SO(DefaultSO(4000))
+	dd := d.WithDeletions(0.10, 7)
+	if len(dd.Tuples) != len(d.Tuples) {
+		t.Fatalf("deletion stream length %d, want %d", len(dd.Tuples), len(d.Tuples))
+	}
+	checkMonotone(t, dd.Tuples)
+	dels := 0
+	inserted := map[stream.EdgeKey]bool{}
+	for _, tu := range dd.Tuples {
+		if tu.Op == stream.Delete {
+			dels++
+			if !inserted[tu.Key()] {
+				t.Fatalf("deletion of never-inserted edge %v", tu)
+			}
+		} else {
+			inserted[tu.Key()] = true
+		}
+	}
+	ratio := float64(dels) / float64(len(dd.Tuples))
+	if ratio < 0.05 || ratio > 0.15 {
+		t.Errorf("deletion ratio %.3f, want ≈0.10", ratio)
+	}
+	// Zero ratio must be a pure copy.
+	if zero := d.WithDeletions(0, 7); len(zero.Tuples) != len(d.Tuples) {
+		t.Error("zero-ratio deletion stream differs in length")
+	}
+}
+
+func TestGMarkGenerator(t *testing.T) {
+	d := GMark(DefaultGMark(5000))
+	if len(d.Tuples) != 5000 {
+		t.Fatalf("generated %d tuples", len(d.Tuples))
+	}
+	checkMonotone(t, d.Tuples)
+	if len(d.Labels) != 8 {
+		t.Fatalf("labels = %d, want 8", len(d.Labels))
+	}
+}
+
+func TestGMarkQueries(t *testing.T) {
+	labels := []string{"p0", "p1", "p2", "p3"}
+	qs := GMarkQueries(100, labels, 2, 20, 42)
+	if len(qs) != 100 {
+		t.Fatalf("generated %d queries, want 100", len(qs))
+	}
+	for _, q := range qs {
+		if q.Size < 2 || q.Size > 21 {
+			t.Errorf("%s: size %d outside [2,21]: %s", q.Name, q.Size, q.Expr)
+		}
+		// Every query must compile to a DFA.
+		d := automaton.Compile(q.Expr)
+		if d.NumStates() == 0 {
+			t.Errorf("%s: empty DFA", q.Name)
+		}
+	}
+	// Determinism.
+	qs2 := GMarkQueries(100, labels, 2, 20, 42)
+	for i := range qs {
+		if qs[i].Expr.String() != qs2[i].Expr.String() {
+			t.Fatalf("query %d not deterministic", i)
+		}
+	}
+	// Size diversity: at least 10 distinct sizes.
+	sizes := map[int]bool{}
+	for _, q := range qs {
+		sizes[q.Size] = true
+	}
+	if len(sizes) < 10 {
+		t.Errorf("only %d distinct sizes", len(sizes))
+	}
+}
+
+func TestNumVertices(t *testing.T) {
+	d := &Dataset{Tuples: []stream.Tuple{
+		{Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 1, Dst: 3},
+	}}
+	if n := d.NumVertices(); n != 3 {
+		t.Fatalf("NumVertices = %d, want 3", n)
+	}
+}

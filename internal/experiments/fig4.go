@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"streamrpq/internal/bench"
+	"streamrpq/internal/datasets"
+	"streamrpq/internal/workload"
+)
+
+// Fig4Row is one bar pair of Figure 4: throughput and tail latency of
+// Algorithm RAPQ for one query on one dataset.
+type Fig4Row struct {
+	Dataset string
+	Query   string
+	Result  bench.Result
+}
+
+// Fig4Data runs the Figure 4 measurement and returns the rows.
+func Fig4Data(cfg Config) ([]Fig4Row, error) {
+	var rows []Fig4Row
+	for _, d := range fig4Datasets(cfg) {
+		spec := defaultWindow(d)
+		for _, q := range workload.MustQueries(d) {
+			rows = append(rows, Fig4Row{Dataset: d.Name, Query: q.Name, Result: runRAPQ(d, q, spec)})
+		}
+	}
+	return rows, nil
+}
+
+func fig4Datasets(cfg Config) []*datasets.Dataset {
+	return []*datasets.Dataset{
+		datasets.Yago(datasets.DefaultYago(cfg.Scale)),
+		datasets.LDBC(datasets.DefaultLDBC(cfg.Scale)),
+		datasets.SO(datasets.DefaultSO(cfg.Scale)),
+	}
+}
+
+// Fig4 reproduces Figure 4 (a,b,c): throughput and tail latency of
+// Algorithm RAPQ for all workload queries on Yago, LDBC and SO.
+// Expected shapes (paper §5.2): SO is the slowest dataset; Q11 (the
+// only non-recursive query) is the fastest everywhere; multi-star
+// queries (Q3, Q6) and full-alphabet closures (Q4, Q9) are the slowest
+// on SO.
+func Fig4(cfg Config) error {
+	rows, err := Fig4Data(cfg)
+	if err != nil {
+		return err
+	}
+	last := ""
+	var buf [][]string
+	flush := func() {
+		if len(buf) > 0 {
+			header(cfg.Out, fmt.Sprintf("Figure 4: RAPQ throughput & tail latency on %s", last))
+			table(cfg.Out, []string{"Query", "Throughput (edges/s)", "Tail latency p99", "Mean", "Results", "Trees", "Nodes"}, buf)
+			buf = nil
+		}
+	}
+	for _, r := range rows {
+		if r.Dataset != last {
+			flush()
+			last = r.Dataset
+		}
+		buf = append(buf, []string{
+			r.Query,
+			eps(r.Result.Throughput),
+			r.Result.P99.String(),
+			r.Result.Mean.String(),
+			fmt.Sprint(r.Result.Results),
+			fmt.Sprint(r.Result.Trees),
+			fmt.Sprint(r.Result.Nodes),
+		})
+	}
+	flush()
+	return nil
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"streamrpq/internal/datasets"
+	"streamrpq/internal/workload"
+)
+
+// Fig5Row is one bar pair of Figure 5: the Δ tree-index size of a query
+// on the SO graph.
+type Fig5Row struct {
+	Query string
+	Trees int
+	Nodes int
+}
+
+// Fig5Data runs the Figure 5 measurement.
+func Fig5Data(cfg Config) ([]Fig5Row, error) {
+	d := datasets.SO(datasets.DefaultSO(cfg.Scale))
+	spec := defaultWindow(d)
+	var rows []Fig5Row
+	for _, q := range workload.MustQueries(d) {
+		res := runRAPQ(d, q, spec)
+		rows = append(rows, Fig5Row{Query: q.Name, Trees: res.Trees, Nodes: res.Nodes})
+	}
+	return rows, nil
+}
+
+// Fig5 reproduces Figure 5: the number of spanning trees and the total
+// number of nodes in the Δ index per query on the SO graph. The paper
+// observes a negative correlation between index size and throughput:
+// Q3 and Q6 (multiple Kleene stars) and Q4/Q9 (closure over the whole
+// 3-label alphabet) build the largest indexes.
+func Fig5(cfg Config) error {
+	rows, err := Fig5Data(cfg)
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, "Figure 5: Δ tree-index size per query on SO")
+	var buf [][]string
+	for _, r := range rows {
+		buf = append(buf, []string{r.Query, fmt.Sprint(r.Trees), fmt.Sprint(r.Nodes)})
+	}
+	table(cfg.Out, []string{"Query", "# trees", "# nodes"}, buf)
+	return nil
+}

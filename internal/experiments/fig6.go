@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"streamrpq/internal/datasets"
+	"streamrpq/internal/window"
+	"streamrpq/internal/workload"
+)
+
+// Fig6Row is one point of Figure 6: tail latency and window-maintenance
+// cost at a given window size and slide interval on Yago.
+type Fig6Row struct {
+	Query       string
+	WindowEdges int64 // |W| expressed in edges (count-based windows, as the paper builds for Yago2s)
+	SlideEdges  int64
+	P99         time.Duration
+	ExpiryTime  time.Duration // total time spent in ExpiryRAPQ
+	ExpiryRuns  int64
+}
+
+// fig6Queries is the query subset plotted in both panels; using all 11
+// clutters the table without changing the trend.
+var fig6Queries = []string{"Q1", "Q2", "Q3", "Q4", "Q7", "Q11"}
+
+// Fig6Data runs both sweeps of Figure 6: window size |W| at fixed
+// relative slide, and slide interval β at fixed |W|.
+func Fig6Data(cfg Config) (bySize, bySlide []Fig6Row, err error) {
+	d := datasets.Yago(datasets.DefaultYago(cfg.Scale))
+	qs := workload.MustQueries(d)
+	ticks := streamTicks(d)
+	edgesPerTick := int64(len(d.Tuples)) / ticks
+
+	// Window sweep: |W| ∈ {1,2,3,4}·(span/16), mirroring 5M..20M edges.
+	unit := ticks / 16
+	if unit < 8 {
+		unit = 8
+	}
+	for mult := int64(1); mult <= 4; mult++ {
+		size := mult * unit
+		spec := window.Spec{Size: size, Slide: max(1, size/10)}
+		for _, name := range fig6Queries {
+			q, ok := workload.ByName(qs, name)
+			if !ok {
+				continue
+			}
+			res := runRAPQ(d, q, spec)
+			bySize = append(bySize, Fig6Row{
+				Query:       q.Name,
+				WindowEdges: size * edgesPerTick,
+				SlideEdges:  spec.Slide * edgesPerTick,
+				P99:         res.P99,
+				ExpiryTime:  res.Stats.ExpiryTime,
+				ExpiryRuns:  res.Stats.ExpiryRuns,
+			})
+		}
+	}
+
+	// Slide sweep: β ∈ {1,2,3,4}·(|W|/20) at fixed |W| = 2·unit,
+	// mirroring 0.5M..2M slides on a 10M window.
+	size := 2 * unit
+	for mult := int64(1); mult <= 4; mult++ {
+		slide := max(1, mult*size/20)
+		spec := window.Spec{Size: size, Slide: slide}
+		for _, name := range fig6Queries {
+			q, ok := workload.ByName(qs, name)
+			if !ok {
+				continue
+			}
+			res := runRAPQ(d, q, spec)
+			bySlide = append(bySlide, Fig6Row{
+				Query:       q.Name,
+				WindowEdges: size * edgesPerTick,
+				SlideEdges:  slide * edgesPerTick,
+				P99:         res.P99,
+				ExpiryTime:  res.Stats.ExpiryTime,
+				ExpiryRuns:  res.Stats.ExpiryRuns,
+			})
+		}
+	}
+	return bySize, bySlide, nil
+}
+
+// Fig6 reproduces Figure 6: (a) tail latency grows linearly with the
+// window size |W| and is insensitive to the slide interval β; (b) the
+// per-run window-maintenance cost grows with both |W| and β (larger
+// slides expire more per run), keeping the amortized overhead constant.
+func Fig6(cfg Config) error {
+	bySize, bySlide, err := Fig6Data(cfg)
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, "Figure 6(a): tail latency vs window size |W| (Yago)")
+	var buf [][]string
+	for _, r := range bySize {
+		buf = append(buf, []string{r.Query, fmt.Sprint(r.WindowEdges), r.P99.String(), r.ExpiryTime.String(), fmt.Sprint(r.ExpiryRuns)})
+	}
+	table(cfg.Out, []string{"Query", "|W| (edges)", "p99", "Total expiry time", "Expiry runs"}, buf)
+
+	header(cfg.Out, "Figure 6(b): tail latency vs slide interval β (Yago, fixed |W|)")
+	buf = nil
+	for _, r := range bySlide {
+		perRun := time.Duration(0)
+		if r.ExpiryRuns > 0 {
+			perRun = r.ExpiryTime / time.Duration(r.ExpiryRuns)
+		}
+		buf = append(buf, []string{r.Query, fmt.Sprint(r.SlideEdges), r.P99.String(), perRun.String(), fmt.Sprint(r.ExpiryRuns)})
+	}
+	table(cfg.Out, []string{"Query", "β (edges)", "p99", "Expiry time/run", "Expiry runs"}, buf)
+	return nil
+}

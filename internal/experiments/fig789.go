@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"streamrpq/internal/automaton"
+	"streamrpq/internal/bench"
+	"streamrpq/internal/core"
+	"streamrpq/internal/datasets"
+)
+
+// gmarkWorkload builds the 100-query synthetic workload of §5.3 bound
+// to the gMark dataset's label space.
+func gmarkWorkload(d *datasets.Dataset, seed int64) []boundGMarkQuery {
+	qs := datasets.GMarkQueries(100, d.Labels, 2, 20, seed)
+	out := make([]boundGMarkQuery, 0, len(qs))
+	for _, q := range qs {
+		dfa := automaton.Compile(q.Expr)
+		out = append(out, boundGMarkQuery{
+			GMarkQuery: q,
+			States:     dfa.NumStates(),
+			Bound:      dfa.Bind(d.LabelID, len(d.Labels)),
+		})
+	}
+	return out
+}
+
+type boundGMarkQuery struct {
+	datasets.GMarkQuery
+	States int
+	Bound  *automaton.Bound
+}
+
+// Fig7Row is one point of Figure 7: the minimal-DFA size of one
+// synthetic query.
+type Fig7Row struct {
+	Query  string
+	Size   int // |Q|
+	States int // k
+}
+
+// Fig7Data computes DFA sizes for the synthetic workload. No stream is
+// replayed; this is a compilation-only experiment.
+func Fig7Data(cfg Config) ([]Fig7Row, error) {
+	d := datasets.GMark(datasets.DefaultGMark(1000))
+	var rows []Fig7Row
+	for _, q := range gmarkWorkload(d, cfg.Seed) {
+		rows = append(rows, Fig7Row{Query: q.Name, Size: q.Size, States: q.States})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Size < rows[j].Size })
+	return rows, nil
+}
+
+// Fig7 reproduces Figure 7: the number of DFA states k against the
+// query size |Q| for 100 gMark RPQs. The paper's finding — echoed by
+// Green et al. for XML streams — is that k does not explode
+// exponentially with |Q| for practical queries; it stays within a
+// small multiple of |Q|.
+func Fig7(cfg Config) error {
+	rows, err := Fig7Data(cfg)
+	if err != nil {
+		return err
+	}
+	// Aggregate per query size.
+	type agg struct {
+		n, sum, min, max int
+	}
+	bysize := map[int]*agg{}
+	for _, r := range rows {
+		a := bysize[r.Size]
+		if a == nil {
+			a = &agg{min: r.States, max: r.States}
+			bysize[r.Size] = a
+		}
+		a.n++
+		a.sum += r.States
+		if r.States < a.min {
+			a.min = r.States
+		}
+		if r.States > a.max {
+			a.max = r.States
+		}
+	}
+	var sizes []int
+	for s := range bysize {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	header(cfg.Out, "Figure 7: DFA states k vs query size |Q| (100 gMark RPQs)")
+	var buf [][]string
+	for _, s := range sizes {
+		a := bysize[s]
+		buf = append(buf, []string{
+			fmt.Sprint(s), fmt.Sprint(a.n),
+			fmt.Sprintf("%.1f", float64(a.sum)/float64(a.n)),
+			fmt.Sprint(a.min), fmt.Sprint(a.max),
+		})
+	}
+	table(cfg.Out, []string{"|Q|", "queries", "avg k", "min k", "max k"}, buf)
+	return nil
+}
+
+// Fig8Row is one point of Figure 8: throughput of one synthetic query
+// against its automaton size.
+type Fig8Row struct {
+	Query      string
+	States     int
+	Throughput float64
+	Nodes      int
+}
+
+// fig8Sample selects a throughput-measurable subset of the workload:
+// measuring all 100 queries at full scale is slow and the paper's
+// scatter only needs coverage of the k range.
+func fig8Sample(qs []boundGMarkQuery, perK int) []boundGMarkQuery {
+	byK := map[int]int{}
+	var out []boundGMarkQuery
+	for _, q := range qs {
+		if byK[q.States] < perK {
+			byK[q.States]++
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Fig8Data measures throughput against k on the gMark stream.
+func Fig8Data(cfg Config) ([]Fig8Row, error) {
+	d := datasets.GMark(datasets.DefaultGMark(cfg.Scale / 2))
+	spec := defaultWindow(d)
+	var rows []Fig8Row
+	for _, q := range fig8Sample(gmarkWorkload(d, cfg.Seed), 4) {
+		engine := core.NewRAPQ(q.Bound, spec)
+		res := bench.Run(engine, d.Tuples, bench.RelevantLabels(q.Bound.Relevant), q.Name, d.Name)
+		rows = append(rows, Fig8Row{Query: q.Name, States: q.States, Throughput: res.Throughput, Nodes: res.Nodes})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].States < rows[j].States })
+	return rows, nil
+}
+
+// Fig8 reproduces Figure 8: throughput of Algorithm RAPQ against the
+// number of automaton states k for the synthetic workload. The paper
+// finds no strong dependence on k; the spread within one k (up to 6×)
+// is explained by label selectivity — Figure 9 pins it to the Δ size.
+func Fig8(cfg Config) error {
+	rows, err := Fig8Data(cfg)
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, "Figure 8: throughput vs automaton size k (gMark workload)")
+	var buf [][]string
+	for _, r := range rows {
+		buf = append(buf, []string{r.Query, fmt.Sprint(r.States), eps(r.Throughput), fmt.Sprint(r.Nodes)})
+	}
+	table(cfg.Out, []string{"Query", "k", "Throughput (edges/s)", "Δ nodes"}, buf)
+	return nil
+}
+
+// Fig9Row is one point of Figure 9: throughput against Δ size for
+// queries with a fixed automaton size.
+type Fig9Row struct {
+	Query      string
+	Nodes      int
+	Throughput float64
+}
+
+// fig9K is the automaton size held fixed in Figure 9.
+const fig9K = 5
+
+// Fig9Data measures throughput against Δ size for queries with k =
+// fig9K (falling back to the most common k if none has 5 states).
+func Fig9Data(cfg Config) ([]Fig9Row, error) {
+	d := datasets.GMark(datasets.DefaultGMark(cfg.Scale / 2))
+	spec := defaultWindow(d)
+	all := gmarkWorkload(d, cfg.Seed)
+	k := fig9K
+	var sel []boundGMarkQuery
+	for _, q := range all {
+		if q.States == k {
+			sel = append(sel, q)
+		}
+	}
+	if len(sel) < 4 { // fall back to the most populated k
+		counts := map[int]int{}
+		for _, q := range all {
+			counts[q.States]++
+		}
+		best, bestN := 0, 0
+		for kk, n := range counts {
+			if n > bestN {
+				best, bestN = kk, n
+			}
+		}
+		k = best
+		sel = sel[:0]
+		for _, q := range all {
+			if q.States == k {
+				sel = append(sel, q)
+			}
+		}
+	}
+	if len(sel) > 12 {
+		sel = sel[:12]
+	}
+	var rows []Fig9Row
+	for _, q := range sel {
+		engine := core.NewRAPQ(q.Bound, spec)
+		res := bench.Run(engine, d.Tuples, bench.RelevantLabels(q.Bound.Relevant), q.Name, d.Name)
+		rows = append(rows, Fig9Row{Query: q.Name, Nodes: res.Nodes, Throughput: res.Throughput})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Nodes < rows[j].Nodes })
+	return rows, nil
+}
+
+// Fig9 reproduces Figure 9: for queries with the same automaton size,
+// throughput falls as the Δ tree index grows — confirming that the
+// index size (the volume of partial results), not k, drives the cost.
+func Fig9(cfg Config) error {
+	rows, err := Fig9Data(cfg)
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, "Figure 9: throughput vs Δ size at fixed k (gMark workload)")
+	var buf [][]string
+	for _, r := range rows {
+		buf = append(buf, []string{r.Query, fmt.Sprint(r.Nodes), eps(r.Throughput)})
+	}
+	table(cfg.Out, []string{"Query", "Δ nodes", "Throughput (edges/s)"}, buf)
+	return nil
+}

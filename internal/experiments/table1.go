@@ -1,0 +1,19 @@
+package experiments
+
+import "fmt"
+
+// Table1 prints the amortized complexity table of the proposed
+// algorithms (Table 1). The bounds are analytical; their empirical
+// counterparts are the linear latency growth with |W| in Figure 6 and
+// the deletion overhead in Figure 10.
+func Table1(cfg Config) error {
+	header(cfg.Out, "Table 1: amortized time complexities (n vertices in W, k automaton states)")
+	table(cfg.Out,
+		[]string{"Path semantics", "Append-only", "Explicit deletions"},
+		[][]string{
+			{"Arbitrary (§3)", "O(n·k²)", "O(n²·k)"},
+			{"Simple (§4, conflict-free)", "O(n·k²)", "O(n²·k)"},
+		})
+	fmt.Fprintln(cfg.Out, "  (Simple-path bounds hold in the absence of conflicts; the general problem is NP-hard.)")
+	return nil
+}

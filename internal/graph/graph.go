@@ -1,0 +1,235 @@
+// Package graph implements the snapshot graph G_{W,τ} of a sliding
+// window over a streaming graph (Definition 5 of Pacaci et al., SIGMOD
+// 2020): a directed, edge-labeled multigraph whose edges carry the
+// timestamp of the streaming tuple that produced them.
+//
+// An edge is identified by (src, dst, label). Re-inserting an existing
+// edge refreshes its timestamp (the freshest copy is the only one that
+// matters for windowed reachability); an explicit deletion removes it.
+// Expiry removes all edges whose timestamp has fallen out of the
+// window, using a lazy FIFO of insertions that exploits the
+// non-decreasing timestamp order of the stream.
+package graph
+
+import (
+	"streamrpq/internal/stream"
+)
+
+// Edge is one labeled, timestamped edge of the snapshot graph.
+type Edge struct {
+	Src   stream.VertexID
+	Dst   stream.VertexID
+	Label stream.LabelID
+	TS    int64
+}
+
+// halfKey packs (otherEndpoint, label) into one map key.
+type halfKey uint64
+
+func mkHalfKey(v stream.VertexID, l stream.LabelID) halfKey {
+	return halfKey(uint64(v)<<32 | uint64(uint32(l)))
+}
+
+func (k halfKey) vertex() stream.VertexID { return stream.VertexID(k >> 32) }
+func (k halfKey) label() stream.LabelID   { return stream.LabelID(uint32(k)) }
+
+// Graph is the snapshot graph of the current window.
+type Graph struct {
+	out map[stream.VertexID]map[halfKey]int64 // src -> (dst,label) -> ts
+	in  map[stream.VertexID]map[halfKey]int64 // dst -> (src,label) -> ts
+
+	numEdges int
+
+	// fifo holds insertion records in arrival order. Stream timestamps
+	// are non-decreasing, so expiry pops from the front. Entries are
+	// lazily invalidated by re-insertions (newer ts) and deletions.
+	fifo []fifoEntry
+	head int
+}
+
+type fifoEntry struct {
+	key stream.EdgeKey
+	ts  int64
+}
+
+// New returns an empty snapshot graph.
+func New() *Graph {
+	return &Graph{
+		out: make(map[stream.VertexID]map[halfKey]int64),
+		in:  make(map[stream.VertexID]map[halfKey]int64),
+	}
+}
+
+// NumEdges returns the number of distinct (src,dst,label) edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// NumVertices returns the number of vertices incident to at least one
+// edge.
+func (g *Graph) NumVertices() int {
+	// Count the union of out/in keys without allocating a set when one
+	// side dominates.
+	n := len(g.out)
+	for v := range g.in {
+		if _, ok := g.out[v]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Insert adds the edge (src,dst,label) with timestamp ts, refreshing
+// the timestamp if the edge exists. It reports whether the edge was new.
+func (g *Graph) Insert(src, dst stream.VertexID, label stream.LabelID, ts int64) bool {
+	ok := g.out[src]
+	if ok == nil {
+		ok = make(map[halfKey]int64)
+		g.out[src] = ok
+	}
+	k := mkHalfKey(dst, label)
+	_, existed := ok[k]
+	ok[k] = ts
+
+	ik := g.in[dst]
+	if ik == nil {
+		ik = make(map[halfKey]int64)
+		g.in[dst] = ik
+	}
+	ik[mkHalfKey(src, label)] = ts
+
+	if !existed {
+		g.numEdges++
+	}
+	g.fifo = append(g.fifo, fifoEntry{key: stream.EdgeKey{Src: src, Dst: dst, Label: label}, ts: ts})
+	return !existed
+}
+
+// Delete removes the edge identified by key. It reports whether the
+// edge was present.
+func (g *Graph) Delete(key stream.EdgeKey) bool {
+	om, ok := g.out[key.Src]
+	if !ok {
+		return false
+	}
+	hk := mkHalfKey(key.Dst, key.Label)
+	if _, ok := om[hk]; !ok {
+		return false
+	}
+	delete(om, hk)
+	if len(om) == 0 {
+		delete(g.out, key.Src)
+	}
+	im := g.in[key.Dst]
+	delete(im, mkHalfKey(key.Src, key.Label))
+	if len(im) == 0 {
+		delete(g.in, key.Dst)
+	}
+	g.numEdges--
+	return true
+}
+
+// TS returns the timestamp of the edge and whether it exists.
+func (g *Graph) TS(key stream.EdgeKey) (int64, bool) {
+	om, ok := g.out[key.Src]
+	if !ok {
+		return 0, false
+	}
+	ts, ok := om[mkHalfKey(key.Dst, key.Label)]
+	return ts, ok
+}
+
+// Has reports whether the edge exists.
+func (g *Graph) Has(key stream.EdgeKey) bool {
+	_, ok := g.TS(key)
+	return ok
+}
+
+// Out calls f for every out-edge of src. Returning false stops the
+// iteration early.
+func (g *Graph) Out(src stream.VertexID, f func(dst stream.VertexID, label stream.LabelID, ts int64) bool) {
+	for k, ts := range g.out[src] {
+		if !f(k.vertex(), k.label(), ts) {
+			return
+		}
+	}
+}
+
+// In calls f for every in-edge of dst. Returning false stops the
+// iteration early.
+func (g *Graph) In(dst stream.VertexID, f func(src stream.VertexID, label stream.LabelID, ts int64) bool) {
+	for k, ts := range g.in[dst] {
+		if !f(k.vertex(), k.label(), ts) {
+			return
+		}
+	}
+}
+
+// Edges calls f for every edge in the graph. Returning false stops the
+// iteration early.
+func (g *Graph) Edges(f func(e Edge) bool) {
+	for src, om := range g.out {
+		for k, ts := range om {
+			if !f(Edge{Src: src, Dst: k.vertex(), Label: k.label(), TS: ts}) {
+				return
+			}
+		}
+	}
+}
+
+// Vertices calls f for every vertex incident to at least one edge.
+func (g *Graph) Vertices(f func(v stream.VertexID) bool) {
+	for v := range g.out {
+		if !f(v) {
+			return
+		}
+	}
+	for v := range g.in {
+		if _, ok := g.out[v]; ok {
+			continue
+		}
+		if !f(v) {
+			return
+		}
+	}
+}
+
+// Expire removes every edge whose timestamp is ≤ deadline and calls
+// onRemove (if non-nil) for each removed edge. Amortized O(1) per
+// insertion thanks to the FIFO invariant.
+func (g *Graph) Expire(deadline int64, onRemove func(e Edge)) int {
+	removed := 0
+	for g.head < len(g.fifo) {
+		ent := g.fifo[g.head]
+		if ent.ts > deadline {
+			break
+		}
+		g.head++
+		cur, ok := g.TS(ent.key)
+		if !ok || cur != ent.ts {
+			continue // deleted or refreshed since this record was queued
+		}
+		if cur <= deadline {
+			g.Delete(ent.key)
+			if onRemove != nil {
+				onRemove(Edge{Src: ent.key.Src, Dst: ent.key.Dst, Label: ent.key.Label, TS: cur})
+			}
+			removed++
+		}
+	}
+	// Compact the FIFO occasionally to bound memory.
+	if g.head > 1024 && g.head*2 > len(g.fifo) {
+		g.fifo = append(g.fifo[:0:0], g.fifo[g.head:]...)
+		g.head = 0
+	}
+	return removed
+}
+
+// Clone returns a deep copy of the graph (used by the batch oracle in
+// tests). The FIFO is not cloned; a cloned graph is a static snapshot.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	g.Edges(func(e Edge) bool {
+		c.Insert(e.Src, e.Dst, e.Label, e.TS)
+		return true
+	})
+	return c
+}

@@ -1,0 +1,145 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyRewrites(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"a**", "a*"},
+		{"a*+", "a*"},
+		{"a*?", "a*"},
+		{"a+*", "a*"},
+		{"a++", "a+"},
+		{"a+?", "a*"},
+		{"a?*", "a*"},
+		{"a?+", "a*"},
+		{"a??", "a?"},
+		{"()*", "()"},
+		{"()+", "()"},
+		{"()?", "()"},
+		{"a/()", "a"},
+		{"()/a", "a"},
+		{"()/()", "()"},
+		{"a|a", "a"},
+		{"a|b|a", "a|b"},
+		{"a|()", "a?"},
+		{"()|a", "a?"},
+		{"()|()", "()"},
+		{"(a|())*", "a*"},
+		{"a/(b/c)", "a/b/c"},
+		{"a|(b|c)", "a|b|c"},
+		{"(a/b)+", "(a/b)+"}, // no change
+		{"a/b*/c", "a/b*/c"}, // no change
+		{"((a))", "a"},
+		{"(a*)*|b", "a*|b"},
+	}
+	for _, c := range cases {
+		got := Simplify(MustParse(c.in)).String()
+		if got != c.want {
+			t.Errorf("Simplify(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestSimplifyPreservesLanguage checks on random expressions that the
+// simplified form accepts exactly the same words.
+func TestSimplifyPreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for i := 0; i < 400; i++ {
+		e := randomExpr(rng, 4)
+		s := Simplify(e)
+		if err := Validate(s); err != nil {
+			t.Fatalf("Simplify(%q) invalid: %v", e, err)
+		}
+		alpha := append(e.Alphabet(), "zz")
+		if len(alpha) == 1 { // pure-ε expressions
+			alpha = []string{"a", "zz"}
+		}
+		for j := 0; j < 30; j++ {
+			w := RandomWord(alpha, rng.Intn(6), rng.Uint64())
+			if Matcher(e, w) != Matcher(s, w) {
+				t.Fatalf("Simplify(%q) = %q changes acceptance of %v", e, s, w)
+			}
+		}
+	}
+}
+
+// TestSimplifyNeverGrows: simplification must not increase the size.
+func TestSimplifyNeverGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 400; i++ {
+		e := randomExpr(rng, 4)
+		if s := Simplify(e); s.Size() > e.Size() {
+			t.Fatalf("Simplify(%q) = %q grew from %d to %d", e, s, e.Size(), s.Size())
+		}
+	}
+}
+
+// TestSimplifyIdempotent: Simplify(Simplify(e)) == Simplify(e).
+func TestSimplifyIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for i := 0; i < 400; i++ {
+		e := Simplify(randomExpr(rng, 4))
+		if twice := Simplify(e); twice.String() != e.String() {
+			t.Fatalf("not idempotent: %q -> %q", e, twice)
+		}
+	}
+}
+
+func TestNullable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"()", true},
+		{"a", false},
+		{"a*", true},
+		{"a+", false},
+		{"a?", true},
+		{"a/b", false},
+		{"a*/b*", true},
+		{"a*/b", false},
+		{"a|b*", true},
+		{"a|b", false},
+		{"(a?)+", true},
+	}
+	for _, c := range cases {
+		if got := Nullable(MustParse(c.in)); got != c.want {
+			t.Errorf("Nullable(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestNullableAgreesWithMatcher: Nullable(e) iff Matcher accepts ε.
+func TestNullableAgreesWithMatcher(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for i := 0; i < 300; i++ {
+		e := randomExpr(rng, 4)
+		if Nullable(e) != Matcher(e, nil) {
+			t.Fatalf("Nullable(%q) = %v disagrees with Matcher", e, Nullable(e))
+		}
+	}
+}
+
+func TestSortedClone(t *testing.T) {
+	e := MustParse("c|a|b")
+	s := SortedClone(e)
+	if s.String() != "a|b|c" {
+		t.Fatalf("SortedClone = %q", s)
+	}
+	// Original untouched.
+	if e.String() != "c|a|b" {
+		t.Fatalf("original mutated: %q", e)
+	}
+	// Language preserved.
+	for _, w := range [][]string{{"a"}, {"b"}, {"c"}, {"d"}, nil} {
+		if Matcher(e, w) != Matcher(s, w) {
+			t.Fatalf("SortedClone changes acceptance of %v", w)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	labels := []string{"knows", "likes", "replyOf"}
+	in := []Tuple{
+		{TS: 0, Src: 0, Dst: 1, Label: 0},
+		{TS: 5, Src: 1, Dst: 2, Label: 1},
+		{TS: 5, Src: 2, Dst: 0, Label: 2, Op: Delete},
+		{TS: 1000000, Src: 4000000, Dst: 5, Label: 0},
+	}
+	var buf bytes.Buffer
+	w, err := NewBinaryWriter(&buf, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range in {
+		if err := w.Write(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewBinaryReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Labels(); len(got) != 3 || got[0] != "knows" || got[2] != "replyOf" {
+		t.Fatalf("labels = %v", got)
+	}
+	out, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d tuples, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("tuple %d: %v != %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestBinaryRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var in []Tuple
+	ts := int64(0)
+	for i := 0; i < 5000; i++ {
+		ts += rng.Int63n(100)
+		tu := Tuple{
+			TS:    ts,
+			Src:   VertexID(rng.Uint32()),
+			Dst:   VertexID(rng.Uint32()),
+			Label: LabelID(rng.Intn(50)),
+		}
+		if rng.Intn(10) == 0 {
+			tu.Op = Delete
+		}
+		in = append(in, tu)
+	}
+	labels := make([]string, 50)
+	for i := range labels {
+		labels[i] = string(rune('a' + i%26))
+	}
+	var buf bytes.Buffer
+	w, _ := NewBinaryWriter(&buf, labels)
+	for _, tu := range in {
+		if err := w.Write(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+
+	r, err := NewBinaryReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("tuple %d mismatch", i)
+		}
+	}
+	// Compactness: delta encoding should stay well under 16 bytes per
+	// tuple on this distribution.
+	if perTuple := float64(buf.Len()) / float64(len(in)); perTuple > 16 {
+		t.Errorf("binary encoding uses %.1f bytes/tuple", perTuple)
+	}
+}
+
+func TestBinaryRejectsOutOfOrder(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewBinaryWriter(&buf, nil)
+	w.Write(Tuple{TS: 10})
+	if err := w.Write(Tuple{TS: 9}); err == nil {
+		t.Fatal("out-of-order write accepted")
+	}
+}
+
+func TestBinaryBadHeader(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("SRPQ\xff"), // bad version
+		[]byte("SRP"),      // truncated magic
+	}
+	for _, c := range cases {
+		if _, err := NewBinaryReader(bytes.NewReader(c)); err == nil {
+			t.Errorf("header %q accepted", c)
+		}
+	}
+}
+
+func TestBinaryTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewBinaryWriter(&buf, []string{"a"})
+	w.Write(Tuple{TS: 1, Src: 2, Dst: 3, Label: 0})
+	w.Flush()
+	full := buf.Bytes()
+	// Chop the last byte: the reader must surface an error, not EOF.
+	r, err := NewBinaryReader(bytes.NewReader(full[:len(full)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil || err == io.EOF {
+		t.Fatalf("truncated record: err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestBinaryEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewBinaryWriter(&buf, []string{"a"})
+	w.Flush()
+	r, err := NewBinaryReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.ReadAll()
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}

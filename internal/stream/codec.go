@@ -1,0 +1,132 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text stream format: one tuple per line,
+//
+//	<ts> <src> <dst> <label> [+|-]
+//
+// where ts is a decimal integer, src/dst/label are arbitrary
+// whitespace-free strings, and the optional op defaults to '+'.
+// Lines starting with '#' and blank lines are ignored.
+
+// Reader decodes a text-encoded tuple stream, dictionary-encoding
+// vertices and labels on the fly.
+type Reader struct {
+	s        *bufio.Scanner
+	vertices *Dict
+	labels   *Dict
+	line     int
+}
+
+// NewReader returns a Reader over r using the given dictionaries.
+// Passing shared dictionaries lets several stream files agree on ids.
+func NewReader(r io.Reader, vertices, labels *Dict) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Reader{s: s, vertices: vertices, labels: labels}
+}
+
+// Vertices returns the vertex dictionary.
+func (r *Reader) Vertices() *Dict { return r.vertices }
+
+// Labels returns the label dictionary.
+func (r *Reader) Labels() *Dict { return r.labels }
+
+// Read returns the next tuple, or io.EOF at end of stream.
+func (r *Reader) Read() (Tuple, error) {
+	for r.s.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := r.parse(line)
+		if err != nil {
+			return Tuple{}, fmt.Errorf("stream: line %d: %w", r.line, err)
+		}
+		return t, nil
+	}
+	if err := r.s.Err(); err != nil {
+		return Tuple{}, err
+	}
+	return Tuple{}, io.EOF
+}
+
+func (r *Reader) parse(line string) (Tuple, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields) > 5 {
+		return Tuple{}, fmt.Errorf("want 4 or 5 fields, got %d", len(fields))
+	}
+	ts, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Tuple{}, fmt.Errorf("bad timestamp %q: %v", fields[0], err)
+	}
+	op := Insert
+	if len(fields) == 5 {
+		switch fields[4] {
+		case "+":
+			op = Insert
+		case "-":
+			op = Delete
+		default:
+			return Tuple{}, fmt.Errorf("bad op %q (want + or -)", fields[4])
+		}
+	}
+	return Tuple{
+		TS:    ts,
+		Src:   VertexID(r.vertices.ID(fields[1])),
+		Dst:   VertexID(r.vertices.ID(fields[2])),
+		Label: LabelID(r.labels.ID(fields[3])),
+		Op:    op,
+	}, nil
+}
+
+// ReadAll reads the remaining tuples.
+func (r *Reader) ReadAll() ([]Tuple, error) {
+	var out []Tuple
+	for {
+		t, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+// Writer encodes tuples in the text format.
+type Writer struct {
+	w        *bufio.Writer
+	vertices *Dict
+	labels   *Dict
+}
+
+// NewWriter returns a Writer; the dictionaries translate ids back to
+// names.
+func NewWriter(w io.Writer, vertices, labels *Dict) *Writer {
+	return &Writer{w: bufio.NewWriter(w), vertices: vertices, labels: labels}
+}
+
+// Write encodes one tuple.
+func (w *Writer) Write(t Tuple) error {
+	op := ""
+	if t.Op == Delete {
+		op = " -"
+	}
+	_, err := fmt.Fprintf(w.w, "%d %s %s %s%s\n",
+		t.TS, w.vertices.Name(int(t.Src)), w.vertices.Name(int(t.Dst)),
+		w.labels.Name(int(t.Label)), op)
+	return err
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }

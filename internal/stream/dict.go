@@ -1,0 +1,48 @@
+package stream
+
+// Dict is a string interner assigning dense non-negative ids in
+// insertion order. It is used to dictionary-encode vertex names and
+// edge labels at the stream boundary so the engines operate on integer
+// ids only.
+type Dict struct {
+	ids   map[string]int
+	names []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]int)}
+}
+
+// ID returns the id for name, assigning the next dense id on first use.
+func (d *Dict) ID(name string) int {
+	if id, ok := d.ids[name]; ok {
+		return id
+	}
+	id := len(d.names)
+	d.ids[name] = id
+	d.names = append(d.names, name)
+	return id
+}
+
+// Lookup returns the id for name without assigning one; ok is false if
+// the name has never been seen.
+func (d *Dict) Lookup(name string) (int, bool) {
+	id, ok := d.ids[name]
+	return id, ok
+}
+
+// Name returns the string for id, or "" if out of range.
+func (d *Dict) Name(id int) string {
+	if id < 0 || id >= len(d.names) {
+		return ""
+	}
+	return d.names[id]
+}
+
+// Len returns the number of interned strings.
+func (d *Dict) Len() int { return len(d.names) }
+
+// Names returns the interned strings in id order. The returned slice
+// is shared; callers must not modify it.
+func (d *Dict) Names() []string { return d.names }

@@ -1,0 +1,82 @@
+// Package window implements the time-based sliding-window bookkeeping
+// of Definitions 4–5 of Pacaci et al. (SIGMOD 2020).
+//
+// Following §2 of the paper, queries use eager evaluation (every
+// arriving tuple is processed immediately, β=1 for results) combined
+// with lazy expiration (expired tuples are physically removed only at
+// user-defined slide intervals β). The Manager tells the engine when a
+// slide boundary has been crossed and which deadline to expire to.
+package window
+
+import "fmt"
+
+// Spec describes a time-based sliding window: Size is |W| and Slide is
+// the slide interval β, both in stream time units.
+type Spec struct {
+	Size  int64 // |W| > 0
+	Slide int64 // β ≥ 1
+}
+
+// Validate checks the specification for consistency.
+func (s Spec) Validate() error {
+	if s.Size <= 0 {
+		return fmt.Errorf("window: size must be positive, got %d", s.Size)
+	}
+	if s.Slide <= 0 {
+		return fmt.Errorf("window: slide must be positive, got %d", s.Slide)
+	}
+	if s.Slide > s.Size {
+		return fmt.Errorf("window: slide %d larger than window size %d", s.Slide, s.Size)
+	}
+	return nil
+}
+
+// ValidFrom returns the exclusive lower bound of valid timestamps at
+// time now: an edge or tree node is inside the window iff ts > ValidFrom.
+func (s Spec) ValidFrom(now int64) int64 { return now - s.Size }
+
+// Manager tracks slide boundaries for lazy expiration.
+type Manager struct {
+	spec     Spec
+	boundary int64 // W^e of the last expiry run
+	started  bool
+}
+
+// NewManager returns a Manager for the given specification.
+func NewManager(spec Spec) *Manager {
+	return &Manager{spec: spec}
+}
+
+// Spec returns the window specification.
+func (m *Manager) Spec() Spec { return m.spec }
+
+// Observe is called with each tuple timestamp in non-decreasing order.
+// It reports whether a slide boundary was crossed since the previous
+// call and, if so, the expiry deadline: every element with ts ≤ deadline
+// has left the window (W^b = ⌊τ/β⌋·β − |W|).
+func (m *Manager) Observe(ts int64) (deadline int64, due bool) {
+	we := floorDiv(ts, m.spec.Slide) * m.spec.Slide
+	if !m.started {
+		m.started = true
+		m.boundary = we
+		return 0, false
+	}
+	if we <= m.boundary {
+		return 0, false
+	}
+	m.boundary = we
+	return we - m.spec.Size, true
+}
+
+// Boundary returns W^e of the last expiry run.
+func (m *Manager) Boundary() int64 { return m.boundary }
+
+// floorDiv is integer division rounding toward negative infinity, so
+// negative timestamps behave consistently.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

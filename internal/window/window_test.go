@@ -1,0 +1,115 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{Size: 10, Slide: 1}, true},
+		{Spec{Size: 10, Slide: 10}, true},
+		{Spec{Size: 0, Slide: 1}, false},
+		{Spec{Size: -5, Slide: 1}, false},
+		{Spec{Size: 10, Slide: 0}, false},
+		{Spec{Size: 10, Slide: -1}, false},
+		{Spec{Size: 10, Slide: 11}, false},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.spec, err, c.ok)
+		}
+	}
+}
+
+func TestObserveEagerSlide(t *testing.T) {
+	m := NewManager(Spec{Size: 15, Slide: 1})
+	// First observation establishes the boundary, no expiry.
+	if _, due := m.Observe(4); due {
+		t.Fatal("first observation should not trigger expiry")
+	}
+	// Same boundary: no expiry.
+	if _, due := m.Observe(4); due {
+		t.Fatal("same timestamp should not trigger expiry")
+	}
+	// Crossing to 6 must expire to 6-15 = -9.
+	deadline, due := m.Observe(6)
+	if !due || deadline != -9 {
+		t.Fatalf("Observe(6) = %d,%v, want -9,true", deadline, due)
+	}
+	deadline, due = m.Observe(19)
+	if !due || deadline != 4 {
+		t.Fatalf("Observe(19) = %d,%v, want 4,true", deadline, due)
+	}
+}
+
+func TestObserveLazySlide(t *testing.T) {
+	m := NewManager(Spec{Size: 30, Slide: 10})
+	m.Observe(5) // boundary 0
+	if _, due := m.Observe(9); due {
+		t.Fatal("no boundary crossed below 10")
+	}
+	deadline, due := m.Observe(10)
+	if !due || deadline != -20 {
+		t.Fatalf("Observe(10) = %d,%v, want -20,true", deadline, due)
+	}
+	if _, due := m.Observe(19); due {
+		t.Fatal("within slide interval")
+	}
+	// Jumping several boundaries at once yields a single expiry with
+	// the latest deadline.
+	deadline, due = m.Observe(45)
+	if !due || deadline != 10 {
+		t.Fatalf("Observe(45) = %d,%v, want 10,true", deadline, due)
+	}
+	if m.Boundary() != 40 {
+		t.Fatalf("Boundary = %d, want 40", m.Boundary())
+	}
+}
+
+func TestValidFrom(t *testing.T) {
+	s := Spec{Size: 15, Slide: 1}
+	if got := s.ValidFrom(18); got != 3 {
+		t.Fatalf("ValidFrom(18) = %d, want 3", got)
+	}
+}
+
+func TestFloorDivProperties(t *testing.T) {
+	f := func(a int64, b uint8) bool {
+		d := int64(b%60) + 1
+		q := floorDiv(a, d)
+		// q is the unique integer with q*d <= a < (q+1)*d.
+		return q*d <= a && a < (q+1)*d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeadlineMonotone(t *testing.T) {
+	// Deadlines from any non-decreasing observation sequence must be
+	// strictly increasing.
+	f := func(steps []uint8, size8, slide8 uint8) bool {
+		size := int64(size8%50) + 10
+		slide := int64(slide8%10) + 1
+		m := NewManager(Spec{Size: size, Slide: slide})
+		ts := int64(0)
+		last := int64(-1 << 62)
+		for _, s := range steps {
+			ts += int64(s % 7)
+			if deadline, due := m.Observe(ts); due {
+				if deadline <= last {
+					return false
+				}
+				last = deadline
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

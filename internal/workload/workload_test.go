@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+
+	"streamrpq/internal/datasets"
+)
+
+func TestQueriesSO(t *testing.T) {
+	d := datasets.SO(datasets.DefaultSO(100))
+	qs, err := Queries(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 11 {
+		t.Fatalf("SO workload has %d queries, want 11", len(qs))
+	}
+	if qs[0].Name != "Q1" || qs[0].Text != "a2q*" {
+		t.Errorf("Q1 = %q", qs[0].Text)
+	}
+	if qs[10].Name != "Q11" || qs[10].Text != "a2q/c2a/c2q" {
+		t.Errorf("Q11 = %q", qs[10].Text)
+	}
+	// Every bound automaton must consider at least one of the 3 SO
+	// labels relevant.
+	for _, q := range qs {
+		any := false
+		for l := 0; l < len(d.Labels); l++ {
+			if q.Bound.Relevant(l) {
+				any = true
+			}
+		}
+		if !any {
+			t.Errorf("%s: no relevant label", q.Name)
+		}
+	}
+}
+
+func TestQueriesLDBCExclusions(t *testing.T) {
+	d := datasets.LDBC(datasets.DefaultLDBC(100))
+	qs, err := Queries(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 7 {
+		t.Fatalf("LDBC workload has %d queries, want 7 (Fig. 4b)", len(qs))
+	}
+	for _, q := range qs {
+		switch q.Name {
+		case "Q4", "Q8", "Q9", "Q10":
+			t.Errorf("query %s must be excluded on LDBC", q.Name)
+		}
+	}
+	if _, ok := ByName(qs, "Q5"); !ok {
+		t.Error("Q5 missing from LDBC workload")
+	}
+}
+
+func TestQueriesYago(t *testing.T) {
+	d := datasets.Yago(datasets.DefaultYago(100))
+	qs, err := Queries(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 11 {
+		t.Fatalf("Yago workload has %d queries, want 11", len(qs))
+	}
+	q4, ok := ByName(qs, "Q4")
+	if !ok {
+		t.Fatal("Q4 missing")
+	}
+	if q4.Text != "(happenedIn|hasCapital|participatedIn)*" {
+		t.Errorf("Q4 = %q", q4.Text)
+	}
+}
+
+func TestQueriesUnknownDataset(t *testing.T) {
+	d := &datasets.Dataset{Name: "nope"}
+	if _, err := Queries(d); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if n := len(Names("SO")); n != 11 {
+		t.Errorf("Names(SO) = %d, want 11", n)
+	}
+	if n := len(Names("LDBC")); n != 7 {
+		t.Errorf("Names(LDBC) = %d, want 7", n)
+	}
+}
+
+func TestByNameMissing(t *testing.T) {
+	if _, ok := ByName(nil, "Q1"); ok {
+		t.Fatal("ByName on empty slice returned ok")
+	}
+}

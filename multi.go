@@ -1,0 +1,129 @@
+package streamrpq
+
+import (
+	"fmt"
+
+	"streamrpq/internal/core"
+	"streamrpq/internal/stream"
+	"streamrpq/internal/window"
+)
+
+// MultiEvaluator runs several persistent RPQs over one streaming
+// graph, storing the window content once and routing each tuple only
+// to the queries whose alphabet contains its label (the multi-query
+// sharing of the paper's future-work section).
+//
+// All queries share one window specification and one vertex/label
+// dictionary. Register queries with AddQuery before the first Ingest.
+type MultiEvaluator struct {
+	vertices *stream.Dict
+	labels   *stream.Dict
+	multi    *core.Multi
+	queries  []*multiMember
+	lastTS   int64
+	started  bool
+}
+
+type multiMember struct {
+	query *Query
+	batch []Match
+}
+
+// QueryResult couples one registered query with the matches the last
+// Ingest produced for it.
+type QueryResult struct {
+	Query   *Query
+	Matches []Match
+}
+
+// NewMultiEvaluator creates a shared evaluator. Register the queries,
+// then stream tuples through Ingest.
+func NewMultiEvaluator(size, slide int64, queries ...*Query) (*MultiEvaluator, error) {
+	spec := window.Spec{Size: size, Slide: slide}
+	multi, err := core.NewMulti(spec)
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiEvaluator{
+		vertices: stream.NewDict(),
+		labels:   stream.NewDict(),
+		multi:    multi,
+	}
+	// The shared dense label space is the union of all query
+	// alphabets; it must be fixed before binding any member.
+	for _, q := range queries {
+		for _, l := range q.Alphabet() {
+			m.labels.ID(l)
+		}
+	}
+	for _, q := range queries {
+		if err := m.addQuery(q); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (m *MultiEvaluator) addQuery(q *Query) error {
+	member := &multiMember{query: q}
+	bound := q.dfa.Bind(func(s string) int {
+		id, ok := m.labels.Lookup(s)
+		if !ok {
+			return -1
+		}
+		return id
+	}, m.labels.Len())
+	sink := core.FuncSink{
+		Match: func(cm core.Match) {
+			member.batch = append(member.batch, Match{
+				From: m.vertices.Name(int(cm.From)),
+				To:   m.vertices.Name(int(cm.To)),
+				TS:   cm.TS,
+			})
+		},
+	}
+	if _, err := m.multi.Add(bound, core.WithSink(sink)); err != nil {
+		return err
+	}
+	m.queries = append(m.queries, member)
+	return nil
+}
+
+// NumQueries returns the number of registered queries.
+func (m *MultiEvaluator) NumQueries() int { return len(m.queries) }
+
+// Ingest consumes one tuple and returns, per registered query, the
+// matches it produced (queries with no new matches are omitted).
+func (m *MultiEvaluator) Ingest(t Tuple) ([]QueryResult, error) {
+	if m.started && t.TS < m.lastTS {
+		return nil, fmt.Errorf("streamrpq: out-of-order tuple: ts %d after %d", t.TS, m.lastTS)
+	}
+	m.started = true
+	m.lastTS = t.TS
+
+	for _, member := range m.queries {
+		member.batch = member.batch[:0]
+	}
+	op := stream.Insert
+	if t.Delete {
+		op = stream.Delete
+	}
+	m.multi.Process(stream.Tuple{
+		TS:    t.TS,
+		Src:   stream.VertexID(m.vertices.ID(t.Src)),
+		Dst:   stream.VertexID(m.vertices.ID(t.Dst)),
+		Label: stream.LabelID(m.labels.ID(t.Label)),
+		Op:    op,
+	})
+	var out []QueryResult
+	for _, member := range m.queries {
+		if len(member.batch) > 0 {
+			out = append(out, QueryResult{Query: member.query, Matches: member.batch})
+		}
+	}
+	return out, nil
+}
+
+// Stats aggregates engine statistics across queries; graph sizes
+// describe the shared window content.
+func (m *MultiEvaluator) Stats() Stats { return m.multi.Stats() }

@@ -1,0 +1,64 @@
+package streamrpq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Replay reads a text-encoded tuple stream ("ts src dst label [+|-]"
+// per line, '#' comments and blank lines ignored) from r, feeds it to
+// the evaluator, and calls onMatch for every result produced. It
+// returns the number of tuples ingested.
+func Replay(r io.Reader, ev *Evaluator, onMatch func(Match)) (int64, error) {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var n int64
+	line := 0
+	for s.Scan() {
+		line++
+		text := strings.TrimSpace(s.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		t, err := parseTupleLine(text)
+		if err != nil {
+			return n, fmt.Errorf("streamrpq: line %d: %w", line, err)
+		}
+		ms, err := ev.Ingest(t)
+		if err != nil {
+			return n, fmt.Errorf("streamrpq: line %d: %w", line, err)
+		}
+		n++
+		if onMatch != nil {
+			for _, m := range ms {
+				onMatch(m)
+			}
+		}
+	}
+	return n, s.Err()
+}
+
+func parseTupleLine(text string) (Tuple, error) {
+	fields := strings.Fields(text)
+	if len(fields) < 4 || len(fields) > 5 {
+		return Tuple{}, fmt.Errorf("want 4 or 5 fields, got %d", len(fields))
+	}
+	ts, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Tuple{}, fmt.Errorf("bad timestamp %q: %v", fields[0], err)
+	}
+	t := Tuple{TS: ts, Src: fields[1], Dst: fields[2], Label: fields[3]}
+	if len(fields) == 5 {
+		switch fields[4] {
+		case "+":
+		case "-":
+			t.Delete = true
+		default:
+			return Tuple{}, fmt.Errorf("bad op %q (want + or -)", fields[4])
+		}
+	}
+	return t, nil
+}

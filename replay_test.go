@@ -1,0 +1,105 @@
+package streamrpq
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestReplayFigure1 is the end-to-end integration test: text stream
+// file → Replay → evaluator → result stream, on the paper's running
+// example.
+func TestReplayFigure1(t *testing.T) {
+	f, err := os.Open("testdata/figure1.stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	ev, err := NewEvaluator(MustCompile("(follows/mentions)+"), WithWindow(15, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[[2]string]int64{}
+	n, err := Replay(f, ev, func(m Match) {
+		if _, ok := got[[2]string{m.From, m.To}]; !ok {
+			got[[2]string{m.From, m.To}] = m.TS
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Fatalf("replayed %d tuples, want 9", n)
+	}
+	want := map[[2]string]int64{
+		{"x", "w"}: 11,
+		{"x", "u"}: 13,
+		{"u", "y"}: 18,
+		{"x", "y"}: 18,
+		{"x", "x"}: 19,
+		{"w", "x"}: 19,
+		{"w", "w"}: 19,
+		{"w", "u"}: 19,
+		{"w", "y"}: 19,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for p, ts := range want {
+		if got[p] != ts {
+			t.Errorf("pair %v discovered at %d, want %d", p, got[p], ts)
+		}
+	}
+}
+
+func TestReplayParseErrors(t *testing.T) {
+	cases := []string{
+		"nonsense line here extra",
+		"abc u v l",
+		"1 u v l *",
+	}
+	for _, in := range cases {
+		ev, _ := NewEvaluator(MustCompile("l"), WithWindow(10, 1))
+		if _, err := Replay(strings.NewReader(in), ev, nil); err == nil {
+			t.Errorf("input %q: want error", in)
+		}
+	}
+}
+
+func TestReplayCommentsAndBlank(t *testing.T) {
+	in := "# header\n\n1 a b l\n  \n2 b c l\n"
+	ev, _ := NewEvaluator(MustCompile("l/l"), WithWindow(10, 1))
+	var ms []Match
+	n, err := Replay(strings.NewReader(in), ev, func(m Match) { ms = append(ms, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("n = %d, want 2", n)
+	}
+	if len(ms) != 1 || ms[0].From != "a" || ms[0].To != "c" {
+		t.Fatalf("matches = %v", ms)
+	}
+}
+
+func TestReplayDeletion(t *testing.T) {
+	in := "1 a b l\n2 a b l -\n3 b c l\n"
+	retracted := 0
+	ev, _ := NewEvaluator(MustCompile("l"), WithWindow(10, 1),
+		WithOnInvalidate(func(Match) { retracted++ }))
+	if _, err := Replay(strings.NewReader(in), ev, nil); err != nil {
+		t.Fatal(err)
+	}
+	if retracted != 1 {
+		t.Fatalf("retracted = %d, want 1", retracted)
+	}
+}
+
+func TestReplayOutOfOrderSurfacesError(t *testing.T) {
+	in := "5 a b l\n3 a b l\n"
+	ev, _ := NewEvaluator(MustCompile("l"), WithWindow(10, 1))
+	if _, err := Replay(strings.NewReader(in), ev, nil); err == nil {
+		t.Fatal("out-of-order stream accepted")
+	}
+}
