@@ -1,0 +1,51 @@
+// Example multiquery runs several persistent RPQs concurrently over
+// one shared sliding window with the sharded multi-query engine:
+// queries are partitioned over worker shards (WithShards), tuples are
+// ingested in batches (IngestBatch), and the merged results come back
+// in a deterministic (tuple, query, From, To) order.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamrpq"
+)
+
+func main() {
+	queries := []*streamrpq.Query{
+		streamrpq.MustCompile("follows+"),
+		streamrpq.MustCompile("follows/mentions"),
+		streamrpq.MustCompile("(follows/mentions)+"),
+	}
+	m, err := streamrpq.NewMultiEvaluator(15, 1, queries...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.WithShards(2); err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	batch := []streamrpq.Tuple{
+		{TS: 1, Src: "ann", Dst: "bob", Label: "follows"},
+		{TS: 2, Src: "bob", Dst: "cat", Label: "follows"},
+		{TS: 3, Src: "cat", Dst: "dan", Label: "mentions"},
+		{TS: 4, Src: "dan", Dst: "ann", Label: "follows"},
+	}
+	results, err := m.IngestBatch(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, br := range results {
+		t := batch[br.Tuple]
+		fmt.Printf("tuple %d (%s-[%s]->%s) matched %q:\n", br.Tuple, t.Src, t.Label, t.Dst, br.Query)
+		for _, match := range br.Matches {
+			fmt.Printf("  %s -> %s @%d\n", match.From, match.To, match.TS)
+		}
+	}
+
+	st := m.Stats()
+	fmt.Printf("window: %d edges, %d spanning trees over %d queries on %d shards\n",
+		st.Edges, st.Trees, m.NumQueries(), m.NumShards())
+}

@@ -1,0 +1,241 @@
+package streamrpq
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// shardStream generates a deletion-free random facade-level stream.
+func shardStream(seed int64, n int) []Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"a", "b"}
+	var out []Tuple
+	ts := int64(0)
+	for i := 0; i < n; i++ {
+		ts += rng.Int63n(3)
+		out = append(out, Tuple{
+			TS:    ts,
+			Src:   fmt.Sprintf("v%d", rng.Intn(9)),
+			Dst:   fmt.Sprintf("v%d", rng.Intn(9)),
+			Label: labels[rng.Intn(2)],
+		})
+	}
+	return out
+}
+
+func shardQueries() []*Query {
+	return []*Query{
+		MustCompile("(a/b)+"),
+		MustCompile("a/b*"),
+		MustCompile("(a|b)+"),
+		MustCompile("b/a"),
+	}
+}
+
+// collectMulti drains a stream through Ingest and returns, per query
+// expression, the multiset of matches.
+func collectMulti(t *testing.T, m *MultiEvaluator, stream []Tuple) map[string]map[Match]int {
+	t.Helper()
+	out := map[string]map[Match]int{}
+	for _, tu := range stream {
+		rs, err := m.Ingest(tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qr := range rs {
+			name := qr.Query.String()
+			if out[name] == nil {
+				out[name] = map[Match]int{}
+			}
+			for _, match := range qr.Matches {
+				out[name][match]++
+			}
+		}
+	}
+	return out
+}
+
+// TestMultiEvaluatorShardedAgrees: WithShards must not change the
+// result stream of any registered query (exact multiset, including
+// discovery timestamps, on a deletion-free stream).
+func TestMultiEvaluatorShardedAgrees(t *testing.T) {
+	stream := shardStream(31, 700)
+	seq, err := NewMultiEvaluator(25, 5, shardQueries()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectMulti(t, seq, stream)
+
+	for _, shards := range []int{1, 2, 8} {
+		m, err := NewMultiEvaluator(25, 5, shardQueries()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WithShards(shards); err != nil {
+			t.Fatal(err)
+		}
+		got := collectMulti(t, m, stream)
+		m.Close()
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("shards=%d: result multisets diverge from sequential", shards)
+		}
+	}
+}
+
+// TestMultiEvaluatorIngestBatch: the batch path must produce exactly
+// the per-tuple results of the single-tuple path, for both backends.
+func TestMultiEvaluatorIngestBatch(t *testing.T) {
+	stream := shardStream(57, 400)
+	for _, shards := range []int{0, 4} { // 0 = sequential backend
+		ref, err := NewMultiEvaluator(30, 3, shardQueries()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := collectMulti(t, ref, stream)
+
+		m, err := NewMultiEvaluator(30, 3, shardQueries()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shards > 0 {
+			if err := m.WithShards(shards); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := map[string]map[Match]int{}
+		lastTuple := -1
+		for i := 0; i < len(stream); i += 50 {
+			batch := stream[i:min(i+50, len(stream))]
+			rs, err := m.IngestBatch(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, br := range rs {
+				if br.Tuple < 0 || br.Tuple >= len(batch) {
+					t.Fatalf("batch result references tuple %d of %d", br.Tuple, len(batch))
+				}
+				if br.Tuple < lastTuple && lastTuple < len(batch) {
+					// results must be ordered by tuple index within one batch
+					t.Fatalf("batch results out of order: tuple %d after %d", br.Tuple, lastTuple)
+				}
+				name := br.Query.String()
+				if got[name] == nil {
+					got[name] = map[Match]int{}
+				}
+				for _, match := range br.Matches {
+					got[name][match]++
+				}
+			}
+			lastTuple = -1
+		}
+		m.Close()
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("shards=%d: IngestBatch diverges from Ingest loop", shards)
+		}
+	}
+}
+
+// TestMultiEvaluatorShardedDeterminism: two sharded runs over the same
+// stream yield byte-identical ordered batch results.
+func TestMultiEvaluatorShardedDeterminism(t *testing.T) {
+	stream := shardStream(83, 600)
+	run := func() []BatchResult {
+		m, err := NewMultiEvaluator(20, 2, shardQueries()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WithShards(4); err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		var all []BatchResult
+		for i := 0; i < len(stream); i += 64 {
+			rs, err := m.IngestBatch(stream[i:min(i+64, len(stream))])
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, rs...)
+		}
+		return all
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no results; test is vacuous")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical sharded runs differ: %d vs %d result groups", len(a), len(b))
+	}
+}
+
+// TestIngestBatchRejectedAtomically: an out-of-order batch — including
+// the very first batch, before any stream clock exists — must be
+// rejected before any tuple reaches the engine, for both backends.
+func TestIngestBatchRejectedAtomically(t *testing.T) {
+	for _, shards := range []int{0, 2} {
+		m, err := NewMultiEvaluator(10, 1, MustCompile("a"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shards > 0 {
+			if err := m.WithShards(shards); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bad := []Tuple{
+			{TS: 5, Src: "x", Dst: "y", Label: "a"},
+			{TS: 3, Src: "y", Dst: "z", Label: "a"},
+		}
+		if _, err := m.IngestBatch(bad); err == nil {
+			t.Fatalf("shards=%d: unordered first batch accepted", shards)
+		}
+		if st := m.Stats(); st.TuplesSeen != 0 || st.Edges != 0 {
+			t.Fatalf("shards=%d: rejected batch left engine state: %+v", shards, st)
+		}
+		// The stream clock must be untouched: a tuple older than the
+		// rejected batch's maximum is still acceptable.
+		if _, err := m.Ingest(Tuple{TS: 1, Src: "x", Dst: "y", Label: "a"}); err != nil {
+			t.Fatalf("shards=%d: clock advanced by rejected batch: %v", shards, err)
+		}
+		m.Close()
+	}
+}
+
+// TestWithShardsGuards: configuration errors must surface cleanly.
+func TestWithShardsGuards(t *testing.T) {
+	m, err := NewMultiEvaluator(10, 1, MustCompile("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WithShards(0); err == nil {
+		t.Fatal("WithShards(0) accepted")
+	}
+	if _, err := m.Ingest(Tuple{TS: 1, Src: "x", Dst: "y", Label: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WithShards(2); err == nil {
+		t.Fatal("WithShards after first Ingest accepted")
+	}
+	m.Close() // no-op for the sequential backend
+
+	s, err := NewMultiEvaluator(10, 1, MustCompile("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WithShards(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShards() != 2 {
+		t.Fatalf("NumShards = %d", s.NumShards())
+	}
+	s.Ingest(Tuple{TS: 5, Src: "u", Dst: "v", Label: "a"})
+	if _, err := s.Ingest(Tuple{TS: 4, Src: "u", Dst: "v", Label: "a"}); err == nil {
+		t.Fatal("out-of-order accepted by sharded backend")
+	}
+	if st := s.ShardStats(); len(st) != 2 {
+		t.Fatalf("ShardStats len = %d", len(st))
+	}
+	s.Close()
+	s.Close() // idempotent
+}

@@ -1,0 +1,3 @@
+module streamrpq
+
+go 1.24

@@ -59,6 +59,35 @@ type Engine interface {
 	Graph() *graph.Graph
 }
 
+// MemberEngine is the contract between a multi-query coordinator
+// (core.Multi, or the sharded engine in internal/shard) and one member
+// query's index maintenance. The coordinator owns the shared snapshot
+// graph and the window clock: it attaches its graph to every member,
+// applies each graph mutation exactly once, and then drives the
+// members' Δ-index updates through Apply*. Members never mutate the
+// shared graph.
+type MemberEngine interface {
+	// AttachGraph replaces the engine's private snapshot graph with the
+	// coordinator's shared one. Must precede the first Apply call.
+	AttachGraph(g *graph.Graph)
+	// ApplyInsert updates the Δ index for an edge the coordinator has
+	// already inserted into the shared graph.
+	ApplyInsert(t stream.Tuple)
+	// ApplyDelete handles an explicit deletion the coordinator has
+	// already removed from the shared graph.
+	ApplyDelete(t stream.Tuple)
+	// ApplyExpiry runs the window-expiry pass for a slide-boundary
+	// deadline; the coordinator has already expired the shared graph.
+	ApplyExpiry(deadline int64)
+	// RelevantLabel reports whether the label is in the query alphabet.
+	RelevantLabel(l stream.LabelID) bool
+	// LabelSpace returns the dense label-space size the automaton was
+	// bound against; all members of one coordinator must agree.
+	LabelSpace() int
+	// Stats returns a snapshot of internal counters.
+	Stats() Stats
+}
+
 // Stats captures the internal state sizes and costs the paper reports
 // (Figures 5, 6(b), 9).
 type Stats struct {

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sync"
+
+	"streamrpq/internal/stream"
+)
+
+// invIndex is the vertex → tree-roots inverted index of §5.2, striped
+// by vertex so that concurrent tree updates (intra-query parallelism
+// across spanning trees, inter-query sharding across engines) contend
+// only on the stripe of the vertex they touch instead of one global
+// mutex. Stripe count is fixed at construction; 1 stripe reproduces
+// the sequential engine's behaviour with negligible overhead.
+type invIndex struct {
+	stripes []invStripe
+	mask    uint32
+}
+
+type invStripe struct {
+	mu sync.Mutex
+	m  map[stream.VertexID]map[stream.VertexID]struct{} // vertex -> roots of trees containing it
+	_  [40]byte                                         // pad to a cache line against false sharing
+}
+
+// newInvIndex returns an index with the given stripe count rounded up
+// to a power of two (minimum 1).
+func newInvIndex(stripes int) *invIndex {
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	ix := &invIndex{stripes: make([]invStripe, n), mask: uint32(n - 1)}
+	for i := range ix.stripes {
+		ix.stripes[i].m = make(map[stream.VertexID]map[stream.VertexID]struct{})
+	}
+	return ix
+}
+
+func (ix *invIndex) stripe(v stream.VertexID) *invStripe {
+	// Fibonacci hashing spreads consecutive vertex ids across stripes.
+	return &ix.stripes[(uint32(v)*2654435769)>>16&ix.mask]
+}
+
+// add records that the tree rooted at root contains v.
+func (ix *invIndex) add(v, root stream.VertexID) {
+	st := ix.stripe(v)
+	st.mu.Lock()
+	m := st.m[v]
+	if m == nil {
+		m = make(map[stream.VertexID]struct{})
+		st.m[v] = m
+	}
+	m[root] = struct{}{}
+	st.mu.Unlock()
+}
+
+// drop removes the (v, root) entry.
+func (ix *invIndex) drop(v, root stream.VertexID) {
+	st := ix.stripe(v)
+	st.mu.Lock()
+	if m := st.m[v]; m != nil {
+		delete(m, root)
+		if len(m) == 0 {
+			delete(st.m, v)
+		}
+	}
+	st.mu.Unlock()
+}
+
+// has reports whether the (v, root) entry exists (invariant checks).
+func (ix *invIndex) has(v, root stream.VertexID) bool {
+	st := ix.stripe(v)
+	st.mu.Lock()
+	_, ok := st.m[v][root]
+	st.mu.Unlock()
+	return ok
+}
+
+// forEach calls f for every (v, root) entry (invariant checks only; f
+// must not call back into the index).
+func (ix *invIndex) forEach(f func(v, root stream.VertexID) bool) {
+	for i := range ix.stripes {
+		st := &ix.stripes[i]
+		st.mu.Lock()
+		for v, roots := range st.m {
+			for root := range roots {
+				if !f(v, root) {
+					st.mu.Unlock()
+					return
+				}
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
+// appendRoots appends the roots of all trees containing v to dst and
+// returns the extended slice. The snapshot is taken under the stripe
+// lock; callers iterate it without holding any lock.
+func (ix *invIndex) appendRoots(v stream.VertexID, dst []stream.VertexID) []stream.VertexID {
+	st := ix.stripe(v)
+	st.mu.Lock()
+	for root := range st.m[v] {
+		dst = append(dst, root)
+	}
+	st.mu.Unlock()
+	return dst
+}

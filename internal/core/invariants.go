@@ -113,19 +113,20 @@ func (e *RAPQ) CheckInvariants() error {
 	// Global inverted index must match union of trees.
 	for v, roots := range invSeen {
 		for root := range roots {
-			if _, ok := e.inv[v][root]; !ok {
+			if !e.inv.has(v, root) {
 				return fmt.Errorf("inv[%d] missing root %d", v, root)
 			}
 		}
 	}
-	for v, roots := range e.inv {
-		for root := range roots {
-			if !invSeen[v][root] {
-				return fmt.Errorf("inv[%d] has stale root %d", v, root)
-			}
+	var staleErr error
+	e.inv.forEach(func(v, root stream.VertexID) bool {
+		if !invSeen[v][root] {
+			staleErr = fmt.Errorf("inv[%d] has stale root %d", v, root)
+			return false
 		}
-	}
-	return nil
+		return true
+	})
+	return staleErr
 }
 
 // CheckInvariants validates the RSPQ tree structures: instance lists,

@@ -50,12 +50,12 @@ func (m *Multi) Add(a *automaton.Bound, opts ...Option) (*RAPQ, error) {
 	// All members must be bound against the same dense label space:
 	// the shared graph stores any label relevant to any member, and
 	// each member indexes its transition tables by those ids.
-	if len(m.members) > 0 && len(a.ByLabel) != len(m.members[0].a.ByLabel) {
+	if len(m.members) > 0 && len(a.ByLabel) != m.members[0].LabelSpace() {
 		return nil, fmt.Errorf("core: label space mismatch: %d vs %d labels",
-			len(a.ByLabel), len(m.members[0].a.ByLabel))
+			len(a.ByLabel), m.members[0].LabelSpace())
 	}
 	e := NewRAPQ(a, m.win.Spec(), opts...)
-	e.g = m.g // share the snapshot graph
+	e.AttachGraph(m.g) // share the snapshot graph
 	m.members = append(m.members, e)
 	return e, nil
 }
@@ -82,7 +82,7 @@ func (m *Multi) Process(t stream.Tuple) {
 	}
 	relevant := false
 	for _, e := range m.members {
-		if e.a.Relevant(int(t.Label)) {
+		if e.RelevantLabel(t.Label) {
 			relevant = true
 			break
 		}
@@ -96,7 +96,7 @@ func (m *Multi) Process(t stream.Tuple) {
 			return
 		}
 		for _, e := range m.members {
-			if e.a.Relevant(int(t.Label)) {
+			if e.RelevantLabel(t.Label) {
 				e.ApplyDelete(t)
 			}
 		}
@@ -104,7 +104,7 @@ func (m *Multi) Process(t stream.Tuple) {
 	}
 	m.g.Insert(t.Src, t.Dst, t.Label, t.TS)
 	for _, e := range m.members {
-		if e.a.Relevant(int(t.Label)) {
+		if e.RelevantLabel(t.Label) {
 			e.ApplyInsert(t)
 		}
 	}

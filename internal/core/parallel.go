@@ -2,6 +2,7 @@ package core
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -19,15 +20,20 @@ import (
 //
 // Spanning trees are disjoint, so per-tuple tree updates and per-slide
 // tree expiries run concurrently across a worker pool; the snapshot
-// graph is updated once per tuple before the fan-out, and shared
-// bookkeeping (the inverted index and the result sink) is protected by
-// a mutex. The sink observes results from multiple workers; ordering
-// within a tuple is unspecified, matching the paper's prototype.
+// graph is updated once per tuple before the fan-out and is read-only
+// during it. Shared bookkeeping avoids the coarse global mutex of a
+// naive implementation: the vertex→trees inverted index is striped by
+// vertex (see invIndex), and result emission and statistics are
+// buffered per worker and merged after the fan-out barrier, so the
+// sink observes a deterministic (From, To)-sorted order per tuple and
+// never runs on a worker goroutine. This makes intra-query tree
+// parallelism compose with the inter-query sharding of internal/shard:
+// neither layer takes a whole-engine lock.
 type ParallelRAPQ struct {
 	inner   *RAPQ
 	workers int
 
-	mu sync.Mutex // guards inner.inv and the sink during fan-out
+	pool []*treeWorker // per-goroutine scratch + result buffers, reused
 }
 
 // NewParallelRAPQ returns a tree-parallel RAPQ engine with the given
@@ -38,11 +44,27 @@ func NewParallelRAPQ(a *automaton.Bound, spec window.Spec, workers int, opts ...
 	}
 	p := &ParallelRAPQ{workers: workers}
 	p.inner = NewRAPQ(a, spec, opts...)
+	// Replace the single-stripe index of the sequential engine with one
+	// wide enough that workers rarely collide on a stripe.
+	p.inner.inv = newInvIndex(4 * workers)
+	p.pool = make([]*treeWorker, workers)
+	for i := range p.pool {
+		p.pool[i] = &treeWorker{}
+	}
 	return p
 }
 
 // Graph implements Engine.
 func (p *ParallelRAPQ) Graph() *graph.Graph { return p.inner.g }
+
+// AttachGraph implements MemberEngine.
+func (p *ParallelRAPQ) AttachGraph(g *graph.Graph) { p.inner.g = g }
+
+// RelevantLabel implements MemberEngine.
+func (p *ParallelRAPQ) RelevantLabel(l stream.LabelID) bool { return p.inner.RelevantLabel(l) }
+
+// LabelSpace implements MemberEngine.
+func (p *ParallelRAPQ) LabelSpace() int { return p.inner.LabelSpace() }
 
 // Stats implements Engine.
 func (p *ParallelRAPQ) Stats() Stats { return p.inner.Stats() }
@@ -57,7 +79,8 @@ func (p *ParallelRAPQ) Process(t stream.Tuple) {
 		e.now = t.TS
 	}
 	if deadline, due := e.win.Observe(t.TS); due {
-		p.expireAllParallel(deadline)
+		e.g.Expire(deadline, nil)
+		p.ApplyExpiry(deadline)
 	}
 	if !e.a.Relevant(int(t.Label)) {
 		e.stats.TuplesDropped++
@@ -71,30 +94,36 @@ func (p *ParallelRAPQ) Process(t stream.Tuple) {
 		}
 		return
 	}
-	p.processInsertParallel(t)
+	e.g.Insert(t.Src, t.Dst, t.Label, t.TS)
+	p.ApplyInsert(t)
 }
 
-// treeShard is the unit of parallel work: one spanning tree.
-func (p *ParallelRAPQ) processInsertParallel(t stream.Tuple) {
+// ApplyInsert implements MemberEngine: the Δ update for an edge that
+// is already in the snapshot graph, fanned out over the trees that
+// contain the source vertex.
+func (p *ParallelRAPQ) ApplyInsert(t stream.Tuple) {
 	e := p.inner
-	e.g.Insert(t.Src, t.Dst, t.Label, t.TS)
+	if t.TS > e.now {
+		e.now = t.TS
+	}
 	validFrom := e.win.Spec().ValidFrom(e.now)
 
 	if e.a.Step(e.a.Start, int(t.Label)) != automaton.NoState {
 		e.ensureTree(t.Src)
 	}
-	roots := make([]stream.VertexID, 0, len(e.inv[t.Src]))
-	for root := range e.inv[t.Src] {
-		roots = append(roots, root)
-	}
+	roots := e.inv.appendRoots(t.Src, e.rootScratch[:0])
+	e.rootScratch = roots[:0]
 	if len(roots) == 0 {
 		return
 	}
-	// Small fan-outs are cheaper sequentially.
+	// Small fan-outs are cheaper sequentially; results still go
+	// through a worker buffer so every path emits in the same sorted
+	// order.
 	if len(roots) < 2*p.workers {
 		for _, root := range roots {
-			p.updateTree(root, t, validFrom, nil)
+			p.updateTree(root, t, validFrom, p.pool[0])
 		}
+		p.mergeWorkers()
 		return
 	}
 
@@ -106,32 +135,62 @@ func (p *ParallelRAPQ) processInsertParallel(t stream.Tuple) {
 	close(work)
 	for w := 0; w < p.workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(local *treeWorker) {
 			defer wg.Done()
-			local := &treeWorker{p: p}
 			for root := range work {
 				p.updateTree(root, t, validFrom, local)
 			}
-		}()
+		}(p.pool[w])
 	}
 	wg.Wait()
+	p.mergeWorkers()
 }
 
-// treeWorker carries per-goroutine scratch state.
+// treeWorker carries per-goroutine scratch state and result buffers.
+// Workers never touch the sink or the shared statistics directly; the
+// coordinator goroutine merges their buffers after each fan-out.
 type treeWorker struct {
-	p     *ParallelRAPQ
-	stack []insertOp
+	stack       []insertOp
+	matches     []Match
+	insertCalls int64
 }
 
-// updateTree applies the tuple to a single spanning tree. When local
-// is nil the caller is single-threaded and the engine's shared scratch
-// is used; otherwise a per-worker scratch stack is used and shared
-// structures are mutated under the mutex.
+// mergeWorkers folds the per-worker buffers into the engine's shared
+// statistics and emits buffered matches to the sink in a deterministic
+// (From, To)-sorted order. Runs on the coordinating goroutine only.
+func (p *ParallelRAPQ) mergeWorkers() {
+	e := p.inner
+	var all []Match
+	for _, w := range p.pool {
+		e.stats.InsertCalls += w.insertCalls
+		w.insertCalls = 0
+		all = append(all, w.matches...)
+		w.matches = w.matches[:0]
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].From != all[j].From {
+			return all[i].From < all[j].From
+		}
+		if all[i].To != all[j].To {
+			return all[i].To < all[j].To
+		}
+		return all[i].TS < all[j].TS
+	})
+	for _, m := range all {
+		e.stats.Results++
+		e.sink.OnMatch(m)
+	}
+}
+
+// updateTree applies the tuple to a single spanning tree, using the
+// given worker's scratch stack and result buffer. The trees map itself
+// is not mutated during a fan-out, so the lookup needs no lock.
 func (p *ParallelRAPQ) updateTree(root stream.VertexID, t stream.Tuple, validFrom int64, local *treeWorker) {
 	e := p.inner
-	p.mu.Lock()
 	tx := e.trees[root]
-	p.mu.Unlock()
 	if tx == nil {
 		return
 	}
@@ -140,19 +199,16 @@ func (p *ParallelRAPQ) updateTree(root stream.VertexID, t stream.Tuple, validFro
 		if !ok || parent.ts <= validFrom {
 			continue
 		}
-		if local == nil {
-			e.insert(tx, parent, t.Dst, tr.To, t.TS, validFrom)
-		} else {
-			p.insertLocked(tx, parent, t.Dst, tr.To, t.TS, validFrom, local)
-		}
+		p.insertConcurrent(tx, parent, t.Dst, tr.To, t.TS, validFrom, local)
 	}
 }
 
-// insertLocked is Algorithm Insert with a per-worker stack; shared
-// mutations (inverted index, result emission, counters) take the
-// engine mutex. Tree-local mutations are safe: each tree is owned by
-// exactly one worker for the duration of the tuple.
-func (p *ParallelRAPQ) insertLocked(tx *tree, parent *treeNode, v stream.VertexID, t int32, edgeTS int64, validFrom int64, w *treeWorker) {
+// insertConcurrent is Algorithm Insert with a per-worker stack. It
+// takes no locks beyond the inverted index's stripe mutexes:
+// tree-local mutations are safe because each tree is owned by exactly
+// one worker for the duration of the fan-out, the graph is read-only
+// during it, and results and counters go to the worker's buffers.
+func (p *ParallelRAPQ) insertConcurrent(tx *tree, parent *treeNode, v stream.VertexID, t int32, edgeTS int64, validFrom int64, w *treeWorker) {
 	e := p.inner
 	stack := w.stack[:0]
 	stack = append(stack, insertOp{parent: mkNodeKey(parent.v, parent.s), v: v, t: t, edgeTS: edgeTS})
@@ -171,6 +227,7 @@ func (p *ParallelRAPQ) insertLocked(tx *tree, parent *treeNode, v stream.VertexI
 		if exists && node.ts >= newTS {
 			continue
 		}
+		w.insertCalls++
 
 		if exists {
 			e.detach(tx, node)
@@ -182,20 +239,16 @@ func (p *ParallelRAPQ) insertLocked(tx *tree, parent *treeNode, v stream.VertexI
 			tx.nodes[key] = node
 			e.attach(par, key)
 			tx.vcount[op.v]++
-			p.mu.Lock()
-			e.stats.InsertCalls++
 			if tx.vcount[op.v] == 1 {
-				e.addInv(op.v, tx.root)
+				e.inv.add(op.v, tx.root)
 			}
 			if e.a.Final[op.t] {
-				e.stats.Results++
-				e.sink.OnMatch(Match{From: tx.root, To: op.v, TS: e.now})
+				w.matches = append(w.matches, Match{From: tx.root, To: op.v, TS: e.now})
 			}
-			p.mu.Unlock()
 		}
 
 		e.g.Out(op.v, func(dst stream.VertexID, l stream.LabelID, ts int64) bool {
-			if ts <= validFrom {
+			if ts <= validFrom || ts > e.now {
 				return true
 			}
 			q := e.a.Trans[op.t][l]
@@ -212,15 +265,19 @@ func (p *ParallelRAPQ) insertLocked(tx *tree, parent *treeNode, v stream.VertexI
 	w.stack = stack[:0]
 }
 
-// expireAllParallel fans the per-tree expiry pass over the worker pool
-// ("window management is parallelized similarly").
-func (p *ParallelRAPQ) expireAllParallel(deadline int64) {
+// ApplyDelete implements MemberEngine. Deletions are rare (§5.4) and
+// run sequentially with the uniform machinery.
+func (p *ParallelRAPQ) ApplyDelete(t stream.Tuple) { p.inner.ApplyDelete(t) }
+
+// ApplyExpiry implements MemberEngine: the per-tree expiry pass fanned
+// over the worker pool ("window management is parallelized similarly").
+// The caller has already expired the snapshot graph.
+func (p *ParallelRAPQ) ApplyExpiry(deadline int64) {
 	e := p.inner
 	start := time.Now()
 	defer func() { e.stats.ExpiryTime += time.Since(start) }()
 	e.stats.ExpiryRuns++
 	e.deadline = deadline
-	e.g.Expire(deadline, nil)
 
 	roots := make([]stream.VertexID, 0, len(e.trees))
 	for root := range e.trees {
@@ -236,20 +293,21 @@ func (p *ParallelRAPQ) expireAllParallel(deadline int64) {
 	var gc []stream.VertexID
 	for w := 0; w < p.workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(local *treeWorker) {
 			defer wg.Done()
 			for root := range work {
 				tx := e.trees[root]
-				p.expireTreeLocked(tx, deadline)
+				p.expireTreeConcurrent(tx, deadline, local)
 				if len(tx.nodes) == 1 {
 					gcMu.Lock()
 					gc = append(gc, root)
 					gcMu.Unlock()
 				}
 			}
-		}()
+		}(p.pool[w])
 	}
 	wg.Wait()
+	p.mergeWorkers()
 	for _, root := range gc {
 		tx := e.trees[root]
 		if tx != nil && len(tx.nodes) == 1 {
@@ -259,10 +317,11 @@ func (p *ParallelRAPQ) expireAllParallel(deadline int64) {
 	}
 }
 
-// expireTreeLocked is ExpiryRAPQ over one tree with inverted-index
-// updates under the mutex. Graph reads are safe: the graph is not
-// mutated during the fan-out.
-func (p *ParallelRAPQ) expireTreeLocked(tx *tree, deadline int64) {
+// expireTreeConcurrent is ExpiryRAPQ over one tree; inverted-index
+// updates go through the striped index and reconnection inserts use
+// the worker's buffers. Graph reads are safe: the graph is not mutated
+// during the fan-out.
+func (p *ParallelRAPQ) expireTreeConcurrent(tx *tree, deadline int64, w *treeWorker) {
 	e := p.inner
 	var candidates []nodeKey
 	for key, node := range tx.nodes {
@@ -280,19 +339,15 @@ func (p *ParallelRAPQ) expireTreeLocked(tx *tree, deadline int64) {
 		tx.vcount[node.v]--
 		if tx.vcount[node.v] == 0 {
 			delete(tx.vcount, node.v)
-			p.mu.Lock()
-			e.dropInv(node.v, tx.root)
-			p.mu.Unlock()
+			e.inv.drop(node.v, tx.root)
 		}
 	}
-	w := &treeWorker{p: p}
 	for _, key := range candidates {
-		if _, back := tx.nodes[key]; back {
-			continue
-		}
 		v, t := key.vertex(), key.state()
+		var bestParent *treeNode
+		var bestEdgeTS, bestTS int64
 		e.g.In(v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
-			if ts <= deadline {
+			if ts <= deadline || ts > e.now {
 				return true
 			}
 			rt := e.rev[l]
@@ -304,17 +359,25 @@ func (p *ParallelRAPQ) expireTreeLocked(tx *tree, deadline int64) {
 				if !ok || parent.ts <= deadline {
 					continue
 				}
-				p.insertLocked(tx, parent, v, t, ts, deadline, w)
-				if _, back := tx.nodes[key]; back {
-					return false
+				offer := min(ts, parent.ts)
+				if bestParent == nil || offer > bestTS ||
+					(offer == bestTS && mkNodeKey(parent.v, parent.s) < mkNodeKey(bestParent.v, bestParent.s)) {
+					bestParent, bestEdgeTS, bestTS = parent, ts, offer
 				}
 			}
 			return true
 		})
+		if bestParent != nil {
+			p.insertConcurrent(tx, bestParent, v, t, bestEdgeTS, deadline, w)
+		}
 	}
 }
 
 // CheckInvariants delegates to the sequential checker.
 func (p *ParallelRAPQ) CheckInvariants() error { return p.inner.CheckInvariants() }
 
-var _ Engine = (*ParallelRAPQ)(nil)
+var (
+	_ Engine       = (*ParallelRAPQ)(nil)
+	_ MemberEngine = (*ParallelRAPQ)(nil)
+	_ MemberEngine = (*RAPQ)(nil)
+)

@@ -48,8 +48,8 @@ type RAPQ struct {
 	win  *window.Manager
 	sink Sink
 
-	trees map[stream.VertexID]*tree                        // Δ: root vertex -> spanning tree
-	inv   map[stream.VertexID]map[stream.VertexID]struct{} // vertex -> roots of trees containing it
+	trees map[stream.VertexID]*tree // Δ: root vertex -> spanning tree
+	inv   *invIndex                 // vertex -> roots of trees containing it (striped)
 
 	// rev[label] lists transitions grouped by target state for expiry
 	// reconnection: rev[label][t] = states s with δ(s,label)=t.
@@ -103,7 +103,7 @@ func NewRAPQ(a *automaton.Bound, spec window.Spec, opts ...Option) *RAPQ {
 		win:          window.NewManager(spec),
 		sink:         cfg.sink,
 		trees:        make(map[stream.VertexID]*tree),
-		inv:          make(map[stream.VertexID]map[stream.VertexID]struct{}),
+		inv:          newInvIndex(1),
 		rev:          rev,
 		scanAllTrees: cfg.scanAllTrees,
 	}
@@ -111,6 +111,20 @@ func NewRAPQ(a *automaton.Bound, spec window.Spec, opts ...Option) *RAPQ {
 
 // Graph implements Engine.
 func (e *RAPQ) Graph() *graph.Graph { return e.g }
+
+// AttachGraph makes the engine index paths over a snapshot graph owned
+// by a multi-query coordinator, which maintains it (inserts, deletes,
+// expiry) exactly once for all member engines. Call before the first
+// tuple.
+func (e *RAPQ) AttachGraph(g *graph.Graph) { e.g = g }
+
+// RelevantLabel reports whether the label is in the query alphabet ΣQ;
+// coordinators route tuples only to engines for which it is.
+func (e *RAPQ) RelevantLabel(l stream.LabelID) bool { return e.a.Relevant(int(l)) }
+
+// LabelSpace returns the size of the dense label space the automaton
+// was bound against. All members of one coordinator must agree on it.
+func (e *RAPQ) LabelSpace() int { return len(e.a.ByLabel) }
 
 // Stats implements Engine.
 func (e *RAPQ) Stats() Stats {
@@ -185,9 +199,7 @@ func (e *RAPQ) ApplyInsert(t stream.Tuple) {
 			e.rootScratch = append(e.rootScratch, root)
 		}
 	} else {
-		for root := range e.inv[t.Src] {
-			e.rootScratch = append(e.rootScratch, root)
-		}
+		e.rootScratch = e.inv.appendRoots(t.Src, e.rootScratch)
 	}
 
 	for _, root := range e.rootScratch {
@@ -226,25 +238,9 @@ func (e *RAPQ) ensureTree(x stream.VertexID) *tree {
 	return tx
 }
 
-func (e *RAPQ) addInv(v, root stream.VertexID) {
-	m := e.inv[v]
-	if m == nil {
-		m = make(map[stream.VertexID]struct{})
-		e.inv[v] = m
-	}
-	m[root] = struct{}{}
-}
+func (e *RAPQ) addInv(v, root stream.VertexID) { e.inv.add(v, root) }
 
-func (e *RAPQ) dropInv(v, root stream.VertexID) {
-	m := e.inv[v]
-	if m == nil {
-		return
-	}
-	delete(m, root)
-	if len(m) == 0 {
-		delete(e.inv, v)
-	}
-}
+func (e *RAPQ) dropInv(v, root stream.VertexID) { e.inv.drop(v, root) }
 
 // insert is Algorithm Insert, run with an explicit stack. It adds
 // (v,t) to tx as a child of parent (or improves its timestamp and
@@ -254,7 +250,16 @@ func (e *RAPQ) dropInv(v, root stream.VertexID) {
 // Deviation from the paper (documented in DESIGN.md): timestamp
 // improvements of existing nodes are propagated recursively rather than
 // left to the expiry pass; propagation is guarded by a strict timestamp
-// increase, so total work stays within the amortized bound.
+// increase, so total work stays within the amortized bound. Strictness
+// also keeps the tree acyclic under re-parenting: a descendant's
+// timestamp never strictly exceeds an ancestor's, so an improvement
+// offer can never re-parent a node under its own descendant. Node
+// timestamps converge to the max-min fixpoint over the window content
+// (every node's timestamp witness is its tree path, and every
+// improvement is propagated), so timestamps — unlike the incidental
+// tree shape — are a pure function of the stream prefix. The sharded
+// multi-query coordinator relies on that canonicity for deterministic
+// result streams.
 func (e *RAPQ) insert(tx *tree, parent *treeNode, v stream.VertexID, t int32, edgeTS int64, validFrom int64) {
 	stack := e.insertStack[:0]
 	stack = append(stack, insertOp{parent: mkNodeKey(parent.v, parent.s), v: v, t: t, edgeTS: edgeTS})
@@ -295,9 +300,14 @@ func (e *RAPQ) insert(tx *tree, parent *treeNode, v stream.VertexID, t int32, ed
 		}
 
 		// Lines 8–10: expand out-edges of v that are inside the window.
+		// Edges with ts > e.now have not arrived yet from this engine's
+		// point of view: a sharded coordinator advances the shared graph
+		// a whole batch at a time, so the graph may run ahead of the
+		// tuple currently being applied. Sequentially the test is
+		// vacuous (no edge outruns the stream clock).
 		e.g.Out(op.v, func(w stream.VertexID, l stream.LabelID, ts int64) bool {
-			if ts <= validFrom {
-				return true // expired edge, not in W_{G,τ}
+			if ts <= validFrom || ts > e.now {
+				return true // expired or not-yet-arrived: not in W_{G,τ}
 			}
 			q := e.a.Trans[op.t][l]
 			if q == automaton.NoState {
@@ -387,16 +397,21 @@ func (e *RAPQ) expireTree(tx *tree, deadline int64, invalidate bool) {
 	}
 	// Lines 4–9: try to reconnect each candidate through a valid edge
 	// from a valid node. Insert re-adds reachable descendants with
-	// fresh timestamps.
+	// fresh timestamps. Every candidate's full in-neighbourhood is
+	// scanned — even if an earlier candidate's cascade already re-added
+	// it — and the maximal offer is presented to Insert, so each
+	// reconnected node ends at its canonical max-min timestamp
+	// regardless of the order candidates are visited in. (Offers from
+	// parents that are themselves re-added later arrive through those
+	// parents' improvement cascades.)
 	for _, key := range candidates {
-		if _, back := tx.nodes[key]; back {
-			continue // reconnected as part of an earlier cascade
-		}
 		v, t := key.vertex(), key.state()
 		byTarget := e.rev // rev[label][t] = sources
+		var bestParent *treeNode
+		var bestEdgeTS, bestTS int64
 		e.g.In(v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
-			if ts <= deadline {
-				return true
+			if ts <= deadline || ts > e.now {
+				return true // expired, or not yet arrived (batched graph)
 			}
 			rt := byTarget[l]
 			if rt == nil {
@@ -407,13 +422,17 @@ func (e *RAPQ) expireTree(tx *tree, deadline int64, invalidate bool) {
 				if !ok || parent.ts <= deadline {
 					continue
 				}
-				e.insert(tx, parent, v, t, ts, deadline)
-				if _, back := tx.nodes[key]; back {
-					return false
+				offer := min(ts, parent.ts)
+				if bestParent == nil || offer > bestTS ||
+					(offer == bestTS && mkNodeKey(parent.v, parent.s) < mkNodeKey(bestParent.v, bestParent.s)) {
+					bestParent, bestEdgeTS, bestTS = parent, ts, offer
 				}
 			}
 			return true
 		})
+		if bestParent != nil {
+			e.insert(tx, bestParent, v, t, bestEdgeTS, deadline)
+		}
 	}
 	if !invalidate {
 		return
@@ -459,10 +478,7 @@ func (e *RAPQ) ApplyDelete(t stream.Tuple) {
 	}
 	validFrom := e.win.Spec().ValidFrom(e.now)
 
-	e.rootScratch = e.rootScratch[:0]
-	for root := range e.inv[t.Src] {
-		e.rootScratch = append(e.rootScratch, root)
-	}
+	e.rootScratch = e.inv.appendRoots(t.Src, e.rootScratch[:0])
 	for _, root := range e.rootScratch {
 		tx := e.trees[root]
 		if tx == nil {

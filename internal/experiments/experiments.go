@@ -62,6 +62,7 @@ func All() []Runner {
 		{"table4", "Simple-path semantics: feasibility & overhead (Table 4)", Table4},
 		{"fig11", "Speedup over the per-tuple rescan baseline (Figure 11)", Fig11},
 		{"ablation", "Design-choice ablations: inverted index, tree parallelism, multi-query sharing", Ablation},
+		{"multiq", "Sharded concurrent multi-query engine: shard-count sweep (§7 + internal/shard)", MultiQ},
 	}
 }
 

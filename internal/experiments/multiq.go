@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"streamrpq/internal/datasets"
+	"streamrpq/internal/shard"
+	"streamrpq/internal/workload"
+)
+
+// MultiQRow is one shard-count measurement of the sharded multi-query
+// engine.
+type MultiQRow struct {
+	Shards     int
+	Queries    int
+	Throughput float64       // tuples per second, whole stream
+	Speedup    float64       // vs the 1-shard run
+	Elapsed    time.Duration //
+	Balance    string        // per-shard share of insert calls
+}
+
+// MultiQData measures the sharded concurrent multi-query engine
+// (internal/shard) running the full workload concurrently over one
+// shared window, at increasing shard counts. This extends the paper's
+// §7 multi-query direction with the inter-query parallelism the
+// single-threaded coordinator cannot exploit; speedups above 1 require
+// GOMAXPROCS > 1.
+func MultiQData(cfg Config) ([]MultiQRow, error) {
+	d := datasets.SO(datasets.DefaultSO(cfg.Scale / 2))
+	spec := defaultWindow(d)
+	qs := workload.MustQueries(d)
+	// Double the workload so every shard owns work at 8 shards.
+	queries := append(append([]workload.Query{}, qs...), qs...)
+
+	var rows []MultiQRow
+	var base float64
+	for _, shards := range []int{1, 2, 4, 8} {
+		eng, err := shard.New(spec, shard.WithShards(shards))
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range queries {
+			if _, err := eng.Add(q.Bound, nil); err != nil {
+				eng.Close()
+				return nil, err
+			}
+		}
+		start := time.Now()
+		const batch = 256
+		for i := 0; i < len(d.Tuples); i += batch {
+			end := min(i+batch, len(d.Tuples))
+			if _, err := eng.ProcessBatch(d.Tuples[i:end]); err != nil {
+				eng.Close()
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		throughput := float64(len(d.Tuples)) / elapsed.Seconds()
+		if shards == 1 {
+			base = throughput
+		}
+		rows = append(rows, MultiQRow{
+			Shards:     shards,
+			Queries:    len(queries),
+			Throughput: throughput,
+			Speedup:    throughput / base,
+			Elapsed:    elapsed,
+			Balance:    shardBalance(eng),
+		})
+		eng.Close()
+	}
+	return rows, nil
+}
+
+// shardBalance renders each shard's share of the total insert calls,
+// the load-balance view of the round-robin query partitioning.
+func shardBalance(eng *shard.Engine) string {
+	ss := eng.ShardStats()
+	var total int64
+	for _, st := range ss {
+		total += st.InsertCalls
+	}
+	if total == 0 {
+		return "-"
+	}
+	out := ""
+	for i, st := range ss {
+		if i > 0 {
+			out += "/"
+		}
+		out += fmt.Sprintf("%.0f%%", 100*float64(st.InsertCalls)/float64(total))
+	}
+	return out
+}
+
+// MultiQ prints the shard-count sweep.
+func MultiQ(cfg Config) error {
+	rows, err := MultiQData(cfg)
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, fmt.Sprintf(
+		"Sharded multi-query engine: shard-count sweep on SO (%d cores available)",
+		runtime.GOMAXPROCS(0)))
+	var tab [][]string
+	for _, r := range rows {
+		tab = append(tab, []string{
+			fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%d", r.Queries),
+			eps(r.Throughput),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			r.Balance,
+		})
+	}
+	table(cfg.Out, []string{"shards", "queries", "tuples/s", "speedup", "insert-call balance"}, tab)
+	return nil
+}

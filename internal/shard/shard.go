@@ -1,0 +1,529 @@
+// Package shard implements a sharded concurrent multi-query RPQ
+// engine: the multi-query sharing of core.Multi (the paper's §7
+// future-work direction) scaled across cores.
+//
+// Registered queries are partitioned round-robin over N worker
+// shards. Each shard owns the Δ spanning-tree indexes of its queries
+// and runs on its own goroutine behind a bounded job channel, so a
+// slow shard exerts backpressure on the coordinator instead of
+// queueing unboundedly. The window content G_{W,τ} is query
+// independent, so the snapshot graph and the window clock are owned by
+// the coordinator and advance once per sub-batch; during a fan-out the
+// graph is strictly read-only and every shard updates its own indexes
+// concurrently.
+//
+// # Batching and sub-batch hazards
+//
+// ProcessBatch applies a whole batch of graph mutations before waking
+// the shards, which amortizes coordination to one channel round-trip
+// per sub-batch instead of per tuple. Because the graph then runs
+// ahead of the tuple a shard is currently applying, the core engines
+// ignore edges with ts beyond their stream clock (see the horizon
+// filters in core's insert/expiry traversals); with that filter a
+// shard processing tuple i observes exactly the sequential prefix
+// G_{W,τi}. Three events would still let the graph diverge from the
+// sequential prefix, so they cut a batch into sub-batches and are only
+// ever applied as the first step of one:
+//
+//   - a slide-boundary crossing (expiry physically removes edges that
+//     earlier tuples of the batch may still need),
+//   - an explicit deletion (its sub-batch is a singleton: tuples after
+//     the delete must not be visible while members process it, and the
+//     deleted edge must not be visible to tuples after it),
+//   - a re-insertion that refreshes an existing edge's timestamp
+//     (earlier tuples must observe the pre-refresh timestamp).
+//
+// Under this discipline the sharded engine produces, per query, the
+// result stream of the sequential core.Multi coordinator. On
+// append-only streams (window expiry included) the agreement is exact:
+// identical match multisets with identical Match.TS values, and two
+// runs over the same stream yield byte-identical merged result
+// sequences (only the attribution of a match to a tuple inside one
+// timestamp tie-group can shift, deterministically). With explicit
+// deletions, the *pair* sets still agree exactly, but the multiplicity
+// of re-discovery matches and the invalidation report depend on the
+// incidental spanning-tree shape — which parent a node happens to hang
+// off among equal-timestamp alternatives — because the paper's
+// Algorithm Delete cuts subtrees along tree edges (Definition 13).
+// That shape is map-iteration dependent in the sequential engines too;
+// it is inherent to the algorithm, not an artifact of sharding.
+// Merged results are returned in a canonical order (tuple index, query
+// registration index, matches before invalidations, then
+// (From, To, TS)).
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"streamrpq/internal/automaton"
+	"streamrpq/internal/core"
+	"streamrpq/internal/graph"
+	"streamrpq/internal/stream"
+	"streamrpq/internal/window"
+)
+
+// Result is one merged result of a batch: the member query (by
+// registration index) that produced the match, and the batch tuple
+// that triggered it.
+type Result struct {
+	Tuple       int // index into the batch passed to ProcessBatch
+	Query       int // query registration index (order of Add calls)
+	Match       core.Match
+	Invalidated bool // true for results retracted by an explicit deletion
+}
+
+type config struct {
+	shards int
+	queue  int
+}
+
+// Option configures an Engine.
+type Option func(*config)
+
+// WithShards sets the number of worker shards queries are partitioned
+// over (default 1; n <= 0 is an error).
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithQueueDepth bounds each shard's job channel (default 2). The
+// coordinator blocks when a shard's queue is full: backpressure, not
+// unbounded buffering.
+func WithQueueDepth(n int) Option { return func(c *config) { c.queue = n } }
+
+// Engine is the sharded multi-query coordinator. It is driven by a
+// single goroutine (like every engine in this module): internal
+// concurrency is the engine's business, the API is not thread-safe.
+// Close releases the worker goroutines.
+type Engine struct {
+	spec    window.Spec
+	g       *graph.Graph
+	win     *window.Manager
+	workers []*worker
+	members []*member
+	// relevant[l] reports whether label l is in any member's alphabet;
+	// tuples outside every alphabet skip the graph and the shards.
+	relevant []bool
+
+	now     int64
+	seen    int64
+	dropped int64
+	started bool
+	closed  bool
+
+	wg      sync.WaitGroup
+	steps   []step
+	tagged  []Result
+	results []Result
+}
+
+// member is one registered query.
+type member struct {
+	engine core.MemberEngine
+	sink   core.Sink // user sink; called by the coordinator post-merge
+	index  int
+}
+
+// step is one unit of work inside a sub-batch, shipped to every shard.
+type step struct {
+	tuple    stream.Tuple
+	index    int   // tuple index in the user batch, for attribution
+	deadline int64 // expiry deadline, when expire is set
+	expire   bool  // run ApplyExpiry(deadline) before applying the tuple
+	del      bool  // tuple is a deletion that removed a live edge
+	skip     bool  // no member work (irrelevant label or no-op delete)
+}
+
+// job is one sub-batch dispatched to a shard.
+type job struct {
+	steps []step
+}
+
+// worker owns the queries of one shard and applies every sub-batch to
+// them on its own goroutine.
+type worker struct {
+	id      int
+	members []*member
+	in      chan job
+	reply   chan []Result
+
+	buf      []Result
+	curTuple int
+	curQuery int
+}
+
+// captureSink collects a member engine's emissions into its worker's
+// buffer, tagged with the current tuple and query for the merge.
+type captureSink struct{ w *worker }
+
+func (c captureSink) OnMatch(m core.Match) {
+	c.w.buf = append(c.w.buf, Result{Tuple: c.w.curTuple, Query: c.w.curQuery, Match: m})
+}
+
+func (c captureSink) OnInvalidate(m core.Match) {
+	c.w.buf = append(c.w.buf, Result{Tuple: c.w.curTuple, Query: c.w.curQuery, Match: m, Invalidated: true})
+}
+
+// New creates a sharded engine with the shared window specification.
+func New(spec window.Spec, opts ...Option) (*Engine, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := config{shards: 1, queue: 2}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.shards <= 0 {
+		return nil, fmt.Errorf("shard: shard count must be positive, got %d", cfg.shards)
+	}
+	if cfg.queue <= 0 {
+		return nil, fmt.Errorf("shard: queue depth must be positive, got %d", cfg.queue)
+	}
+	s := &Engine{
+		spec:    spec,
+		g:       graph.New(),
+		win:     window.NewManager(spec),
+		workers: make([]*worker, cfg.shards),
+	}
+	for i := range s.workers {
+		s.workers[i] = &worker{
+			id:    i,
+			in:    make(chan job, cfg.queue),
+			reply: make(chan []Result, 1),
+		}
+	}
+	return s, nil
+}
+
+// NumShards returns the number of worker shards.
+func (s *Engine) NumShards() int { return len(s.workers) }
+
+// Len returns the number of registered queries.
+func (s *Engine) Len() int { return len(s.members) }
+
+// Graph exposes the shared snapshot graph (read-only use).
+func (s *Engine) Graph() *graph.Graph { return s.g }
+
+// Add registers one RAPQ query and returns its engine (for Stats
+// probes). Queries must be added before the first batch; sink may be
+// nil. The query is assigned to shard index Len() mod NumShards().
+func (s *Engine) Add(a *automaton.Bound, sink core.Sink) (*core.RAPQ, error) {
+	w, err := s.precheck(a)
+	if err != nil {
+		return nil, err
+	}
+	e := core.NewRAPQ(a, s.spec, core.WithSink(captureSink{w}))
+	s.admit(w, e, sink)
+	return e, nil
+}
+
+// AddParallel registers one query evaluated with intra-query tree
+// parallelism (core.ParallelRAPQ): per-tuple tree updates of this
+// member fan out over its own worker pool, composing with the
+// inter-query sharding (neither layer takes a whole-engine lock).
+func (s *Engine) AddParallel(a *automaton.Bound, sink core.Sink, workers int) (*core.ParallelRAPQ, error) {
+	w, err := s.precheck(a)
+	if err != nil {
+		return nil, err
+	}
+	e := core.NewParallelRAPQ(a, s.spec, workers, core.WithSink(captureSink{w}))
+	s.admit(w, e, sink)
+	return e, nil
+}
+
+func (s *Engine) precheck(a *automaton.Bound) (*worker, error) {
+	if s.closed {
+		return nil, fmt.Errorf("shard: Add on closed engine")
+	}
+	if s.started {
+		return nil, fmt.Errorf("shard: Add after processing started")
+	}
+	// All members must be bound against the same dense label space:
+	// the shared graph stores any label relevant to any member.
+	if len(s.members) > 0 && len(a.ByLabel) != s.members[0].engine.LabelSpace() {
+		return nil, fmt.Errorf("shard: label space mismatch: %d vs %d labels",
+			len(a.ByLabel), s.members[0].engine.LabelSpace())
+	}
+	return s.workers[len(s.members)%len(s.workers)], nil
+}
+
+func (s *Engine) admit(w *worker, e core.MemberEngine, sink core.Sink) {
+	e.AttachGraph(s.g)
+	mb := &member{engine: e, sink: sink, index: len(s.members)}
+	s.members = append(s.members, mb)
+	w.members = append(w.members, mb)
+	for len(s.relevant) < e.LabelSpace() {
+		s.relevant = append(s.relevant, false)
+	}
+	for l := range s.relevant {
+		if e.RelevantLabel(stream.LabelID(l)) {
+			s.relevant[l] = true
+		}
+	}
+}
+
+func (s *Engine) relevantLabel(l stream.LabelID) bool {
+	return l >= 0 && int(l) < len(s.relevant) && s.relevant[l]
+}
+
+// start spawns the shard goroutines on first use.
+func (s *Engine) start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		go func(w *worker) {
+			defer s.wg.Done()
+			w.run()
+		}(w)
+	}
+}
+
+// run is the shard goroutine: apply each sub-batch to the shard's
+// queries in stream order, then hand the tagged results back.
+func (w *worker) run() {
+	for jb := range w.in {
+		w.buf = nil
+		for _, st := range jb.steps {
+			if st.expire {
+				w.curTuple = st.index
+				for _, mb := range w.members {
+					w.curQuery = mb.index
+					mb.engine.ApplyExpiry(st.deadline)
+				}
+			}
+			if st.skip {
+				continue
+			}
+			w.curTuple = st.index
+			for _, mb := range w.members {
+				if !mb.engine.RelevantLabel(st.tuple.Label) {
+					continue
+				}
+				w.curQuery = mb.index
+				if st.del {
+					mb.engine.ApplyDelete(st.tuple)
+				} else {
+					mb.engine.ApplyInsert(st.tuple)
+				}
+			}
+		}
+		w.reply <- w.buf
+	}
+}
+
+// Process implements core.Engine for drop-in use in single-tuple
+// harnesses: a batch of one. Results flow to the member sinks. The
+// Engine interface has no error channel, so conditions ProcessBatch
+// would report — an out-of-order tuple or a closed engine — panic
+// here rather than silently dropping the tuple; callers that need
+// error handling use ProcessBatch.
+func (s *Engine) Process(t stream.Tuple) {
+	if _, err := s.ProcessBatch([]stream.Tuple{t}); err != nil {
+		panic(err)
+	}
+}
+
+// ProcessBatch ingests a batch of tuples (timestamps non-decreasing,
+// continuing from previous batches) and returns the merged results in
+// canonical order. The returned slice is reused by the next call.
+// Results are also delivered to the member sinks, in the same order.
+func (s *Engine) ProcessBatch(tuples []stream.Tuple) ([]Result, error) {
+	if s.closed {
+		return nil, fmt.Errorf("shard: ProcessBatch on closed engine")
+	}
+	last := s.now
+	for _, t := range tuples {
+		if t.TS < last {
+			return nil, fmt.Errorf("shard: out-of-order tuple: ts %d after %d", t.TS, last)
+		}
+		last = t.TS
+	}
+	s.start()
+	s.tagged = s.tagged[:0]
+	for i := 0; i < len(tuples); {
+		i = s.subBatch(tuples, i)
+	}
+	s.merge()
+	return s.results, nil
+}
+
+// subBatch builds, applies and dispatches one sub-batch starting at
+// tuple index i, returning the index of the first tuple of the next
+// sub-batch. All shared-state mutations (graph, window clock) happen
+// here, before any shard sees the steps.
+func (s *Engine) subBatch(tuples []stream.Tuple, i int) int {
+	if tuples[i].Op == stream.Delete {
+		s.deleteStep(tuples[i], i)
+		return i + 1
+	}
+	steps := s.steps[:0]
+	j := i
+	for ; j < len(tuples); j++ {
+		t := tuples[j]
+		rel := s.relevantLabel(t.Label)
+		if j > i {
+			_, due := s.win.Peek(t.TS)
+			if due || t.Op == stream.Delete || (rel && s.g.Has(t.Key())) {
+				break // hazard: must start a fresh sub-batch
+			}
+		}
+		s.seen++
+		if t.TS > s.now {
+			s.now = t.TS
+		}
+		st := step{tuple: t, index: j}
+		if deadline, due := s.win.Observe(t.TS); due {
+			s.g.Expire(deadline, nil)
+			st.expire, st.deadline = true, deadline
+		}
+		if rel {
+			s.g.Insert(t.Src, t.Dst, t.Label, t.TS)
+		} else {
+			s.dropped++
+			st.skip = true
+			if !st.expire {
+				continue // nothing for the shards to do
+			}
+		}
+		steps = append(steps, st)
+	}
+	s.steps = steps[:0]
+	s.dispatch(steps)
+	return j
+}
+
+// deleteStep handles one explicit deletion as its own sub-batch(es):
+// members must run a due expiry pass against the graph as it was
+// before the deletion (sequential engines expire before deleting), and
+// must process the deletion before any later insert becomes visible.
+func (s *Engine) deleteStep(t stream.Tuple, index int) {
+	s.seen++
+	if t.TS > s.now {
+		s.now = t.TS
+	}
+	if deadline, due := s.win.Observe(t.TS); due {
+		s.g.Expire(deadline, nil)
+		s.dispatch([]step{{index: index, deadline: deadline, expire: true, skip: true}})
+	}
+	if !s.relevantLabel(t.Label) {
+		s.dropped++
+		return
+	}
+	if !s.g.Delete(t.Key()) {
+		return // deleting an absent edge is a no-op
+	}
+	s.dispatch([]step{{tuple: t, index: index, del: true}})
+}
+
+// dispatch fans one sub-batch out to every shard and collects the
+// tagged results (a full barrier). The bounded in-channels provide
+// backpressure if a future scheduler overlaps dispatch with result
+// collection.
+func (s *Engine) dispatch(steps []step) {
+	if len(steps) == 0 {
+		return
+	}
+	jb := job{steps: steps}
+	for _, w := range s.workers {
+		w.in <- jb
+	}
+	for _, w := range s.workers {
+		s.tagged = append(s.tagged, <-w.reply...)
+	}
+}
+
+// merge sorts the tagged results of a batch into the canonical order
+// and replays them to the member sinks.
+func (s *Engine) merge() {
+	sort.Slice(s.tagged, func(i, j int) bool {
+		a, b := &s.tagged[i], &s.tagged[j]
+		if a.Tuple != b.Tuple {
+			return a.Tuple < b.Tuple
+		}
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		if a.Invalidated != b.Invalidated {
+			return !a.Invalidated // matches before invalidations
+		}
+		if a.Match.From != b.Match.From {
+			return a.Match.From < b.Match.From
+		}
+		if a.Match.To != b.Match.To {
+			return a.Match.To < b.Match.To
+		}
+		return a.Match.TS < b.Match.TS
+	})
+	s.results = append(s.results[:0], s.tagged...)
+	for i := range s.results {
+		r := &s.results[i]
+		if sink := s.members[r.Query].sink; sink != nil {
+			if r.Invalidated {
+				sink.OnInvalidate(r.Match)
+			} else {
+				sink.OnMatch(r.Match)
+			}
+		}
+	}
+}
+
+// Stats aggregates member statistics; Edges/Vertices describe the
+// shared graph. Call between batches only.
+func (s *Engine) Stats() core.Stats {
+	var st core.Stats
+	for _, mb := range s.members {
+		ms := mb.engine.Stats()
+		st.Trees += ms.Trees
+		st.Nodes += ms.Nodes
+		st.Results += ms.Results
+		st.Invalidations += ms.Invalidations
+		st.InsertCalls += ms.InsertCalls
+		st.ExpiryRuns += ms.ExpiryRuns
+		st.ExpiryTime += ms.ExpiryTime
+	}
+	st.TuplesSeen = s.seen
+	st.TuplesDropped = s.dropped
+	st.Edges = s.g.NumEdges()
+	st.Vertices = s.g.NumVertices()
+	return st
+}
+
+// ShardStats returns, per shard, the aggregated statistics of the
+// queries it owns — the load-balance view of the partitioning. Call
+// between batches only.
+func (s *Engine) ShardStats() []core.Stats {
+	out := make([]core.Stats, len(s.workers))
+	for i, w := range s.workers {
+		for _, mb := range w.members {
+			ms := mb.engine.Stats()
+			out[i].Trees += ms.Trees
+			out[i].Nodes += ms.Nodes
+			out[i].Results += ms.Results
+			out[i].Invalidations += ms.Invalidations
+			out[i].InsertCalls += ms.InsertCalls
+			out[i].ExpiryRuns += ms.ExpiryRuns
+			out[i].ExpiryTime += ms.ExpiryTime
+		}
+	}
+	return out
+}
+
+// Close stops the shard goroutines and waits for them to drain. The
+// engine cannot be used afterwards. Close is idempotent.
+func (s *Engine) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.started {
+		for _, w := range s.workers {
+			close(w.in)
+		}
+		s.wg.Wait()
+	}
+}
+
+var _ core.Engine = (*Engine)(nil)

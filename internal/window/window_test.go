@@ -113,3 +113,26 @@ func TestDeadlineMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPeekMatchesObserve(t *testing.T) {
+	// Peek must predict Observe exactly and never mutate the manager.
+	f := func(steps []uint8, size8, slide8 uint8) bool {
+		size := int64(size8%50) + 10
+		slide := int64(slide8%10) + 1
+		m := NewManager(Spec{Size: size, Slide: slide})
+		ts := int64(0)
+		for _, s := range steps {
+			ts += int64(s % 7)
+			pd, pdue := m.Peek(ts)
+			pd2, pdue2 := m.Peek(ts) // idempotent
+			od, odue := m.Observe(ts)
+			if pd != pd2 || pdue != pdue2 || pd != od || pdue != odue {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -3,7 +3,9 @@ package streamrpq
 import (
 	"fmt"
 
+	"streamrpq/internal/automaton"
 	"streamrpq/internal/core"
+	"streamrpq/internal/shard"
 	"streamrpq/internal/stream"
 	"streamrpq/internal/window"
 )
@@ -14,11 +16,16 @@ import (
 // sharing of the paper's future-work section).
 //
 // All queries share one window specification and one vertex/label
-// dictionary. Register queries with AddQuery before the first Ingest.
+// dictionary. Register queries with NewMultiEvaluator; optionally call
+// WithShards to partition them over concurrent worker shards, then
+// stream tuples through Ingest or IngestBatch. Call Close when done
+// (required to release worker goroutines once WithShards was used).
 type MultiEvaluator struct {
 	vertices *stream.Dict
 	labels   *stream.Dict
-	multi    *core.Multi
+	spec     window.Spec
+	multi    *core.Multi   // sequential backend (default)
+	sharded  *shard.Engine // concurrent backend (after WithShards)
 	queries  []*multiMember
 	lastTS   int64
 	started  bool
@@ -26,12 +33,22 @@ type MultiEvaluator struct {
 
 type multiMember struct {
 	query *Query
-	batch []Match
+	bound *automaton.Bound
+	batch []Match // per-Ingest scratch of the sequential backend
 }
 
 // QueryResult couples one registered query with the matches the last
 // Ingest produced for it.
 type QueryResult struct {
+	Query   *Query
+	Matches []Match
+}
+
+// BatchResult couples one registered query with the matches one tuple
+// of an IngestBatch produced for it. Tuple is the index into the
+// ingested batch.
+type BatchResult struct {
+	Tuple   int
 	Query   *Query
 	Matches []Match
 }
@@ -47,6 +64,7 @@ func NewMultiEvaluator(size, slide int64, queries ...*Query) (*MultiEvaluator, e
 	m := &MultiEvaluator{
 		vertices: stream.NewDict(),
 		labels:   stream.NewDict(),
+		spec:     spec,
 		multi:    multi,
 	}
 	// The shared dense label space is the union of all query
@@ -66,7 +84,7 @@ func NewMultiEvaluator(size, slide int64, queries ...*Query) (*MultiEvaluator, e
 
 func (m *MultiEvaluator) addQuery(q *Query) error {
 	member := &multiMember{query: q}
-	bound := q.dfa.Bind(func(s string) int {
+	member.bound = q.dfa.Bind(func(s string) int {
 		id, ok := m.labels.Lookup(s)
 		if !ok {
 			return -1
@@ -75,25 +93,90 @@ func (m *MultiEvaluator) addQuery(q *Query) error {
 	}, m.labels.Len())
 	sink := core.FuncSink{
 		Match: func(cm core.Match) {
-			member.batch = append(member.batch, Match{
-				From: m.vertices.Name(int(cm.From)),
-				To:   m.vertices.Name(int(cm.To)),
-				TS:   cm.TS,
-			})
+			member.batch = append(member.batch, m.decode(cm))
 		},
 	}
-	if _, err := m.multi.Add(bound, core.WithSink(sink)); err != nil {
+	if _, err := m.multi.Add(member.bound, core.WithSink(sink)); err != nil {
 		return err
 	}
 	m.queries = append(m.queries, member)
 	return nil
 }
 
+func (m *MultiEvaluator) decode(cm core.Match) Match {
+	return Match{
+		From: m.vertices.Name(int(cm.From)),
+		To:   m.vertices.Name(int(cm.To)),
+		TS:   cm.TS,
+	}
+}
+
+// WithShards partitions the registered queries over n concurrent
+// worker shards (see internal/shard): each shard owns its queries' Δ
+// indexes and updates them on its own goroutine, while the snapshot
+// graph and window advance once per batch. Must be called before the
+// first Ingest. With sharding enabled the per-query match order within
+// one tuple is canonical ((From, To, TS)-sorted), so runs are exactly
+// reproducible; semantics are otherwise unchanged. Call Close when the
+// evaluator is no longer needed.
+func (m *MultiEvaluator) WithShards(n int) error {
+	if m.started {
+		return fmt.Errorf("streamrpq: WithShards after processing started")
+	}
+	eng, err := shard.New(m.spec, shard.WithShards(n))
+	if err != nil {
+		return err
+	}
+	for _, member := range m.queries {
+		if _, err := eng.Add(member.bound, nil); err != nil {
+			eng.Close()
+			return err
+		}
+	}
+	if m.sharded != nil {
+		m.sharded.Close()
+	}
+	m.sharded = eng
+	m.multi = nil
+	return nil
+}
+
 // NumQueries returns the number of registered queries.
 func (m *MultiEvaluator) NumQueries() int { return len(m.queries) }
 
+// NumShards returns the shard count (1 until WithShards is called).
+func (m *MultiEvaluator) NumShards() int {
+	if m.sharded != nil {
+		return m.sharded.NumShards()
+	}
+	return 1
+}
+
+// Close releases the shard worker goroutines. It is a no-op for the
+// sequential backend and is idempotent.
+func (m *MultiEvaluator) Close() {
+	if m.sharded != nil {
+		m.sharded.Close()
+	}
+}
+
+func (m *MultiEvaluator) encode(t Tuple) stream.Tuple {
+	op := stream.Insert
+	if t.Delete {
+		op = stream.Delete
+	}
+	return stream.Tuple{
+		TS:    t.TS,
+		Src:   stream.VertexID(m.vertices.ID(t.Src)),
+		Dst:   stream.VertexID(m.vertices.ID(t.Dst)),
+		Label: stream.LabelID(m.labels.ID(t.Label)),
+		Op:    op,
+	}
+}
+
 // Ingest consumes one tuple and returns, per registered query, the
-// matches it produced (queries with no new matches are omitted).
+// matches it produced (queries with no new matches are omitted). The
+// returned slices are reused by the next call.
 func (m *MultiEvaluator) Ingest(t Tuple) ([]QueryResult, error) {
 	if m.started && t.TS < m.lastTS {
 		return nil, fmt.Errorf("streamrpq: out-of-order tuple: ts %d after %d", t.TS, m.lastTS)
@@ -101,20 +184,32 @@ func (m *MultiEvaluator) Ingest(t Tuple) ([]QueryResult, error) {
 	m.started = true
 	m.lastTS = t.TS
 
+	if m.sharded != nil {
+		results, err := m.sharded.ProcessBatch([]stream.Tuple{m.encode(t)})
+		if err != nil {
+			return nil, fmt.Errorf("streamrpq: %w", err)
+		}
+		var out []QueryResult
+		for _, r := range results {
+			if r.Invalidated {
+				continue
+			}
+			match := m.decode(r.Match)
+			q := m.queries[r.Query]
+			if n := len(out); n > 0 && out[n-1].Query == q.query {
+				out[n-1].Matches = append(out[n-1].Matches, match)
+			} else {
+				q.batch = append(q.batch[:0], match)
+				out = append(out, QueryResult{Query: q.query, Matches: q.batch})
+			}
+		}
+		return out, nil
+	}
+
 	for _, member := range m.queries {
 		member.batch = member.batch[:0]
 	}
-	op := stream.Insert
-	if t.Delete {
-		op = stream.Delete
-	}
-	m.multi.Process(stream.Tuple{
-		TS:    t.TS,
-		Src:   stream.VertexID(m.vertices.ID(t.Src)),
-		Dst:   stream.VertexID(m.vertices.ID(t.Dst)),
-		Label: stream.LabelID(m.labels.ID(t.Label)),
-		Op:    op,
-	})
+	m.multi.Process(m.encode(t))
 	var out []QueryResult
 	for _, member := range m.queries {
 		if len(member.batch) > 0 {
@@ -124,6 +219,83 @@ func (m *MultiEvaluator) Ingest(t Tuple) ([]QueryResult, error) {
 	return out, nil
 }
 
+// IngestBatch consumes a batch of tuples (timestamps non-decreasing,
+// continuing from previous calls) and returns the matches grouped by
+// (tuple, query), ordered by tuple index and then query registration
+// order. With a sharded backend the whole batch is evaluated with one
+// coordinated fan-out per sub-batch, which is where the multicore
+// throughput comes from; with the sequential backend it is equivalent
+// to calling Ingest in a loop.
+func (m *MultiEvaluator) IngestBatch(tuples []Tuple) ([]BatchResult, error) {
+	// Validate the whole batch up front — against the stream clock and
+	// internally — so a rejected batch leaves no partial engine state.
+	last, checking := m.lastTS, m.started
+	for _, t := range tuples {
+		if checking && t.TS < last {
+			return nil, fmt.Errorf("streamrpq: out-of-order tuple: ts %d after %d", t.TS, last)
+		}
+		last, checking = t.TS, true
+	}
+	if len(tuples) == 0 {
+		return nil, nil
+	}
+
+	if m.sharded != nil {
+		encoded := make([]stream.Tuple, len(tuples))
+		for i, t := range tuples {
+			encoded[i] = m.encode(t)
+		}
+		results, err := m.sharded.ProcessBatch(encoded)
+		if err != nil {
+			return nil, fmt.Errorf("streamrpq: %w", err)
+		}
+		m.started = true
+		m.lastTS = last
+		var out []BatchResult
+		for _, r := range results {
+			if r.Invalidated {
+				continue
+			}
+			match := m.decode(r.Match)
+			q := m.queries[r.Query].query
+			if n := len(out); n > 0 && out[n-1].Tuple == r.Tuple && out[n-1].Query == q {
+				out[n-1].Matches = append(out[n-1].Matches, match)
+			} else {
+				out = append(out, BatchResult{Tuple: r.Tuple, Query: q, Matches: []Match{match}})
+			}
+		}
+		return out, nil
+	}
+
+	var out []BatchResult
+	for i, t := range tuples {
+		rs, err := m.Ingest(t)
+		if err != nil {
+			return nil, err
+		}
+		for _, qr := range rs {
+			matches := make([]Match, len(qr.Matches))
+			copy(matches, qr.Matches)
+			out = append(out, BatchResult{Tuple: i, Query: qr.Query, Matches: matches})
+		}
+	}
+	return out, nil
+}
+
 // Stats aggregates engine statistics across queries; graph sizes
 // describe the shared window content.
-func (m *MultiEvaluator) Stats() Stats { return m.multi.Stats() }
+func (m *MultiEvaluator) Stats() Stats {
+	if m.sharded != nil {
+		return m.sharded.Stats()
+	}
+	return m.multi.Stats()
+}
+
+// ShardStats reports, per shard, the aggregated statistics of the
+// queries it owns. It returns nil until WithShards is called.
+func (m *MultiEvaluator) ShardStats() []Stats {
+	if m.sharded == nil {
+		return nil
+	}
+	return m.sharded.ShardStats()
+}
