@@ -1,0 +1,85 @@
+package streamrpq
+
+import (
+	"testing"
+)
+
+// Recovery cost model: restart latency is what the durability subsystem
+// buys down. BenchmarkColdReplay measures the only restart path an
+// unpersisted engine has — re-ingesting the whole stream to rebuild the
+// window graph and the Δ indexes — while BenchmarkRecover measures
+// loading the latest snapshot and replaying the short WAL suffix
+// written after it. With a checkpoint near the head of the stream the
+// recovery path replays ~5% of the tuples and skips all result
+// re-computation for the rest; it must be measurably faster.
+
+const (
+	benchRecoverTuples = 6000
+	benchRecoverBatch  = 64
+)
+
+func benchRecoverWorkload(b *testing.B) [][]Tuple {
+	b.Helper()
+	return persistTestStream(2027, benchRecoverTuples, benchRecoverBatch)
+}
+
+func benchRecoverEvaluator(b *testing.B) *MultiEvaluator {
+	b.Helper()
+	m, err := NewMultiEvaluator(400, 10, persistTestQueries(b)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.WithShards(2); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkRecover: snapshot + WAL-suffix recovery of a persisted
+// evaluator. The persistence directory is prepared once, with the
+// checkpoint covering ~95% of the stream.
+func BenchmarkRecover(b *testing.B) {
+	batches := benchRecoverWorkload(b)
+	dir := b.TempDir()
+	m := benchRecoverEvaluator(b)
+	if err := m.WithPersistence(dir); err != nil {
+		b.Fatal(err)
+	}
+	ckptAt := len(batches) * 95 / 100
+	for i, bt := range batches {
+		if _, err := m.IngestBatch(bt); err != nil {
+			b.Fatal(err)
+		}
+		if i == ckptAt {
+			if err := m.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	m.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m2, _, err := Recover(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m2.Close()
+	}
+}
+
+// BenchmarkColdReplay: rebuilding the same end-of-stream state without
+// persistence by replaying the entire stream into a fresh evaluator.
+func BenchmarkColdReplay(b *testing.B) {
+	batches := benchRecoverWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := benchRecoverEvaluator(b)
+		for _, bt := range batches {
+			if _, err := m.IngestBatch(bt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		m.Close()
+	}
+}

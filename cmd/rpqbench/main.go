@@ -6,6 +6,11 @@
 //	rpqbench -list
 //	rpqbench -exp fig4 [-scale 40000] [-seed 1]
 //	rpqbench -exp all
+//	rpqbench -exp multiq -json > BENCH_multiq.json
+//
+// -json emits machine-readable results (ns/op, tuples/s, per-shard
+// stats) for experiments with structured drivers, so benchmark
+// trajectories can be recorded as BENCH_*.json files across commits.
 package main
 
 import (
@@ -19,21 +24,39 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		scale = flag.Int("scale", 40000, "stream length in tuples for the primary runs")
-		seed  = flag.Int64("seed", 1, "random seed for dataset and workload generation")
-		list  = flag.Bool("list", false, "list available experiments and exit")
+		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale   = flag.Int("scale", 40000, "stream length in tuples for the primary runs")
+		seed    = flag.Int64("seed", 1, "random seed for dataset and workload generation")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of tables (structured experiments only)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, r := range experiments.All() {
-			fmt.Printf("  %-8s %s\n", r.ID, r.Title)
+			mark := " "
+			if experiments.JSONCapable(r.ID) {
+				mark = "*"
+			}
+			fmt.Printf("  %-8s%s %s\n", r.ID, mark, r.Title)
 		}
+		fmt.Println("  (* supports -json)")
 		return
 	}
 
 	cfg := experiments.Config{Scale: *scale, Out: os.Stdout, Seed: *seed}
+
+	if *jsonOut {
+		if !experiments.JSONCapable(*exp) {
+			fmt.Fprintf(os.Stderr, "rpqbench: -json requires a structured experiment (use -exp multiq); %q has none\n", *exp)
+			os.Exit(2)
+		}
+		if err := experiments.WriteJSON(cfg, *exp, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rpqbench: %s: %v\n", *exp, err)
+			os.Exit(1)
+		}
+		return
+	}
 	run := func(r experiments.Runner) {
 		start := time.Now()
 		if err := r.Run(cfg); err != nil {

@@ -86,6 +86,13 @@ type MemberEngine interface {
 	LabelSpace() int
 	// Stats returns a snapshot of internal counters.
 	Stats() Stats
+	// SnapshotState captures the member's Δ index and clocks for a
+	// checkpoint (internal/persist). Call only at a consistent point:
+	// between batches for a sharded coordinator.
+	SnapshotState() *RAPQState
+	// RestoreState rebuilds the Δ index from a checkpoint. Only legal on
+	// a freshly constructed member before any Apply call.
+	RestoreState(*RAPQState) error
 }
 
 // Stats captures the internal state sizes and costs the paper reports

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"streamrpq/internal/graph"
+	"streamrpq/internal/stream"
+	"streamrpq/internal/window"
+)
+
+// This file defines the exported, pointer-free state representations of
+// the engines' Δ indexes, used by the persistence subsystem
+// (internal/persist) to checkpoint an engine and by recovery to rebuild
+// one. A state captures everything that is a function of the stream
+// prefix: the spanning trees, the stream clock, the window-manager
+// position and the statistics counters. The snapshot graph is NOT part
+// of an engine state — it is owned by the coordinator in multi-query
+// setups and serialized once (see MultiState); standalone engines pair
+// their state with Graph().Snapshot().
+//
+// Restore is only legal on a freshly constructed engine (same automaton,
+// same window spec); restoring rebuilds the derived structures (children
+// sets, vertex counts, inverted indexes) from the flat node lists.
+
+// StatState is the restartable subset of Stats: the monotone counters
+// that survive a checkpoint/recovery cycle so result numbering and
+// throughput accounting stay continuous. Sizes (Trees, Nodes, Edges,
+// Vertices) are recomputed, not stored.
+type StatState struct {
+	Results        int64
+	Invalidations  int64
+	TuplesSeen     int64
+	TuplesDropped  int64
+	ExpiryRuns     int64
+	ExpiryTimeNS   int64
+	InsertCalls    int64
+	ConflictsFound int64
+	Unmarkings     int64
+}
+
+func statStateOf(s Stats) StatState {
+	return StatState{
+		Results:        s.Results,
+		Invalidations:  s.Invalidations,
+		TuplesSeen:     s.TuplesSeen,
+		TuplesDropped:  s.TuplesDropped,
+		ExpiryRuns:     s.ExpiryRuns,
+		ExpiryTimeNS:   int64(s.ExpiryTime),
+		InsertCalls:    s.InsertCalls,
+		ConflictsFound: s.ConflictsFound,
+		Unmarkings:     s.Unmarkings,
+	}
+}
+
+func (st StatState) apply(s *Stats) {
+	s.Results = st.Results
+	s.Invalidations = st.Invalidations
+	s.TuplesSeen = st.TuplesSeen
+	s.TuplesDropped = st.TuplesDropped
+	s.ExpiryRuns = st.ExpiryRuns
+	s.ExpiryTime = time.Duration(st.ExpiryTimeNS)
+	s.InsertCalls = st.InsertCalls
+	s.ConflictsFound = st.ConflictsFound
+	s.Unmarkings = st.Unmarkings
+}
+
+// TreeNodeState is one non-root node of a RAPQ spanning tree: the
+// (vertex, state) pair, its path timestamp, and its parent's key.
+type TreeNodeState struct {
+	V       stream.VertexID
+	S       int32
+	TS      int64
+	ParentV stream.VertexID
+	ParentS int32
+}
+
+// TreeState is one RAPQ spanning tree Tx. The root node (Root, s0) is
+// implicit; Nodes holds everything else in deterministic (v,s) order.
+type TreeState struct {
+	Root  stream.VertexID
+	Nodes []TreeNodeState
+}
+
+// RAPQState is the checkpointable state of a RAPQ (or ParallelRAPQ)
+// engine, excluding the snapshot graph.
+type RAPQState struct {
+	Now      int64
+	Deadline int64
+	Win      window.State
+	Stats    StatState
+	Trees    []TreeState
+}
+
+// SnapshotState captures the engine's Δ index and clocks. The output is
+// deterministic: trees sorted by root, nodes sorted by (vertex, state).
+func (e *RAPQ) SnapshotState() *RAPQState {
+	st := &RAPQState{
+		Now:      e.now,
+		Deadline: e.deadline,
+		Win:      e.win.State(),
+		Stats:    statStateOf(e.stats),
+	}
+	roots := make([]stream.VertexID, 0, len(e.trees))
+	for root := range e.trees {
+		roots = append(roots, root)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, root := range roots {
+		tx := e.trees[root]
+		ts := TreeState{Root: root, Nodes: make([]TreeNodeState, 0, len(tx.nodes)-1)}
+		rootKey := mkNodeKey(root, e.a.Start)
+		keys := make([]nodeKey, 0, len(tx.nodes))
+		for key := range tx.nodes {
+			if key != rootKey {
+				keys = append(keys, key)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, key := range keys {
+			n := tx.nodes[key]
+			ts.Nodes = append(ts.Nodes, TreeNodeState{
+				V: n.v, S: n.s, TS: n.ts,
+				ParentV: n.parent.vertex(), ParentS: n.parent.state(),
+			})
+		}
+		st.Trees = append(st.Trees, ts)
+	}
+	return st
+}
+
+// RestoreState rebuilds the Δ index from a snapshot. The engine must be
+// freshly constructed with the same bound automaton and window spec; the
+// snapshot graph is restored separately by the caller.
+func (e *RAPQ) RestoreState(st *RAPQState) error {
+	if e.stats.TuplesSeen != 0 || len(e.trees) != 0 {
+		return fmt.Errorf("core: RestoreState on a non-fresh RAPQ engine")
+	}
+	e.now = st.Now
+	e.deadline = st.Deadline
+	e.win.SetState(st.Win)
+	st.Stats.apply(&e.stats)
+	for _, ts := range st.Trees {
+		tx := e.ensureTree(ts.Root)
+		// First pass: materialize every node so parents resolve
+		// regardless of order.
+		for _, ns := range ts.Nodes {
+			key := mkNodeKey(ns.V, ns.S)
+			if _, dup := tx.nodes[key]; dup {
+				return fmt.Errorf("core: restore: duplicate node (%d,%d) in tree %d", ns.V, ns.S, ts.Root)
+			}
+			tx.nodes[key] = &treeNode{v: ns.V, s: ns.S, ts: ns.TS, parent: mkNodeKey(ns.ParentV, ns.ParentS)}
+			tx.vcount[ns.V]++
+			if tx.vcount[ns.V] == 1 {
+				e.addInv(ns.V, tx.root)
+			}
+		}
+		// Second pass: link children and validate parents.
+		for _, ns := range ts.Nodes {
+			key := mkNodeKey(ns.V, ns.S)
+			par := tx.nodes[mkNodeKey(ns.ParentV, ns.ParentS)]
+			if par == nil {
+				return fmt.Errorf("core: restore: node (%d,%d) in tree %d has missing parent (%d,%d)",
+					ns.V, ns.S, ts.Root, ns.ParentV, ns.ParentS)
+			}
+			e.attach(par, key)
+		}
+	}
+	return nil
+}
+
+// SnapshotState implements the state API for the tree-parallel engine by
+// delegating to the sequential core (the Δ index is identical; only the
+// execution strategy differs).
+func (p *ParallelRAPQ) SnapshotState() *RAPQState { return p.inner.SnapshotState() }
+
+// RestoreState delegates to the sequential core.
+func (p *ParallelRAPQ) RestoreState(st *RAPQState) error { return p.inner.RestoreState(st) }
+
+// SPNodeState is one instance of an RSPQ spanning tree. Parent is the
+// index of the parent instance in SPTreeState.Nodes, or -1 for the root.
+type SPNodeState struct {
+	V      stream.VertexID
+	S      int32
+	TS     int64
+	Parent int32
+}
+
+// SPTreeState is one RSPQ spanning tree: the instance list (index 0 is
+// the root), in an order that reproduces the per-(vertex,state) instance
+// list order on restore, plus the marking set Mx as packed (v,s) keys.
+type SPTreeState struct {
+	RootV  stream.VertexID
+	Nodes  []SPNodeState
+	Marked []uint64
+}
+
+// RSPQState is the checkpointable state of an RSPQ engine, excluding the
+// snapshot graph.
+type RSPQState struct {
+	Now       int64
+	Win       window.State
+	Stats     StatState
+	BudgetHit bool
+	Trees     []SPTreeState
+}
+
+// SnapshotState captures the RSPQ engine's Δ index: automaton-state
+// instance lists (with their order, which steers traversal order) and
+// the marking sets.
+func (e *RSPQ) SnapshotState() *RSPQState {
+	st := &RSPQState{
+		Now:       e.now,
+		Win:       e.win.State(),
+		Stats:     statStateOf(e.stats),
+		BudgetHit: e.budgetHit,
+	}
+	roots := make([]stream.VertexID, 0, len(e.trees))
+	for root := range e.trees {
+		roots = append(roots, root)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, root := range roots {
+		tx := e.trees[root]
+		ts := SPTreeState{RootV: root}
+		// Index every instance: root first, then sorted (v,s) keys with
+		// each key's instances in list order, so restore can rebuild the
+		// inst lists exactly.
+		index := map[*spNode]int32{tx.root: 0}
+		order := []*spNode{tx.root}
+		keys := make([]nodeKey, 0, len(tx.inst))
+		rootKey := mkNodeKey(root, e.a.Start)
+		for key := range tx.inst {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, key := range keys {
+			for _, n := range tx.inst[key] {
+				if key == rootKey && n == tx.root {
+					continue
+				}
+				index[n] = int32(len(order))
+				order = append(order, n)
+			}
+		}
+		for _, n := range order {
+			ns := SPNodeState{V: n.v, S: n.s, TS: n.ts, Parent: -1}
+			if n.parent != nil {
+				pi, ok := index[n.parent]
+				if !ok {
+					// A live instance always has a live parent; a miss
+					// would mean the index is corrupt. Surface it loudly.
+					panic("core: RSPQ snapshot: instance with unindexed parent")
+				}
+				ns.Parent = pi
+			}
+			ts.Nodes = append(ts.Nodes, ns)
+		}
+		for key := range tx.marked {
+			ts.Marked = append(ts.Marked, uint64(key))
+		}
+		sort.Slice(ts.Marked, func(i, j int) bool { return ts.Marked[i] < ts.Marked[j] })
+		st.Trees = append(st.Trees, ts)
+	}
+	return st
+}
+
+// RestoreState rebuilds the RSPQ Δ index from a snapshot. The engine
+// must be freshly constructed with the same bound automaton and window
+// spec; the snapshot graph is restored separately by the caller.
+func (e *RSPQ) RestoreState(st *RSPQState) error {
+	if e.stats.TuplesSeen != 0 || len(e.trees) != 0 {
+		return fmt.Errorf("core: RestoreState on a non-fresh RSPQ engine")
+	}
+	e.now = st.Now
+	e.win.SetState(st.Win)
+	st.Stats.apply(&e.stats)
+	e.budgetHit = st.BudgetHit
+	for _, ts := range st.Trees {
+		if len(ts.Nodes) == 0 || ts.Nodes[0].Parent != -1 ||
+			ts.Nodes[0].V != ts.RootV || ts.Nodes[0].S != e.a.Start {
+			return fmt.Errorf("core: restore: tree %d has no valid root instance", ts.RootV)
+		}
+		nodes := make([]*spNode, len(ts.Nodes))
+		for i, ns := range ts.Nodes {
+			nodes[i] = &spNode{v: ns.V, s: ns.S, ts: ns.TS}
+		}
+		tx := &sptree{
+			rootV:  ts.RootV,
+			root:   nodes[0],
+			inst:   make(map[nodeKey][]*spNode, len(ts.Nodes)),
+			marked: make(map[nodeKey]struct{}, len(ts.Marked)),
+			vcount: make(map[stream.VertexID]int32),
+		}
+		for i, ns := range ts.Nodes {
+			n := nodes[i]
+			if ns.Parent >= 0 {
+				if int(ns.Parent) >= len(nodes) || int(ns.Parent) == i {
+					return fmt.Errorf("core: restore: tree %d instance %d has bad parent index %d", ts.RootV, i, ns.Parent)
+				}
+				p := nodes[ns.Parent]
+				n.parent = p
+				if p.children == nil {
+					p.children = make(map[*spNode]struct{})
+				}
+				p.children[n] = struct{}{}
+			} else if i != 0 {
+				return fmt.Errorf("core: restore: tree %d has a second root at instance %d", ts.RootV, i)
+			}
+			key := mkNodeKey(ns.V, ns.S)
+			tx.inst[key] = append(tx.inst[key], n)
+			tx.size++
+			tx.vcount[ns.V]++
+			if tx.vcount[ns.V] == 1 {
+				e.addInv(ns.V, tx.rootV)
+			}
+		}
+		for _, mk := range ts.Marked {
+			tx.marked[nodeKey(mk)] = struct{}{}
+		}
+		if _, dup := e.trees[ts.RootV]; dup {
+			return fmt.Errorf("core: restore: duplicate tree %d", ts.RootV)
+		}
+		e.trees[ts.RootV] = tx
+	}
+	return nil
+}
+
+// MultiState is the checkpointable state of a multi-query coordinator
+// (core.Multi or shard.Engine): the shared snapshot graph, the shared
+// window clock, and each member's Δ index, in registration order.
+type MultiState struct {
+	Now     int64
+	Seen    int64
+	Dropped int64
+	Win     window.State
+	Edges   []graph.Edge
+	Members []*RAPQState
+}
+
+// SnapshotEdges returns the graph's live edges sorted by (TS, Src, Dst,
+// Label). Re-inserting them in this order into a fresh graph rebuilds an
+// expiry FIFO equivalent to the original (stream timestamps are
+// non-decreasing, so arrival order and timestamp order agree up to ties,
+// and expiry treats a tie-group atomically).
+func SnapshotEdges(g *graph.Graph) []graph.Edge {
+	var edges []graph.Edge
+	g.Edges(func(e graph.Edge) bool {
+		edges = append(edges, e)
+		return true
+	})
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Label < b.Label
+	})
+	return edges
+}
+
+// RestoreEdges inserts snapshot edges into a fresh graph in order.
+func RestoreEdges(g *graph.Graph, edges []graph.Edge) error {
+	if g.NumEdges() != 0 {
+		return fmt.Errorf("core: RestoreEdges on a non-empty graph")
+	}
+	for _, ed := range edges {
+		g.Insert(ed.Src, ed.Dst, ed.Label, ed.TS)
+	}
+	return nil
+}
+
+// SnapshotState captures the coordinator's shared state and every
+// member's Δ index.
+func (m *Multi) SnapshotState() *MultiState {
+	st := &MultiState{
+		Now:     m.now,
+		Seen:    m.seen,
+		Dropped: m.dropped,
+		Win:     m.win.State(),
+		Edges:   SnapshotEdges(m.g),
+	}
+	for _, e := range m.members {
+		st.Members = append(st.Members, e.SnapshotState())
+	}
+	return st
+}
+
+// RestoreState rebuilds the coordinator from a snapshot. All queries
+// must already be registered (same number, same order as at snapshot
+// time) and no tuple processed yet.
+func (m *Multi) RestoreState(st *MultiState) error {
+	if m.seen != 0 {
+		return fmt.Errorf("core: Multi.RestoreState after processing started")
+	}
+	if len(st.Members) != len(m.members) {
+		return fmt.Errorf("core: restore: snapshot has %d members, coordinator has %d",
+			len(st.Members), len(m.members))
+	}
+	if err := RestoreEdges(m.g, st.Edges); err != nil {
+		return err
+	}
+	m.now = st.Now
+	m.seen = st.Seen
+	m.dropped = st.Dropped
+	m.win.SetState(st.Win)
+	for i, e := range m.members {
+		if err := e.RestoreState(st.Members[i]); err != nil {
+			return fmt.Errorf("core: restore member %d: %w", i, err)
+		}
+	}
+	return nil
+}

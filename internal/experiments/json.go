@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// JSONReport is the machine-readable envelope of an experiment run,
+// written by `rpqbench -json` so benchmark trajectories can be recorded
+// as BENCH_*.json files and compared across commits.
+type JSONReport struct {
+	Experiment string `json:"experiment"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Scale      int    `json:"scale"`
+	Seed       int64  `json:"seed"`
+	Rows       any    `json:"rows"`
+}
+
+// JSONCapable reports whether the experiment has a structured-data
+// driver (only those can be emitted with -json).
+func JSONCapable(id string) bool {
+	return id == "multiq"
+}
+
+// WriteJSON runs the experiment's data driver and writes the report to
+// w as indented JSON.
+func WriteJSON(cfg Config, id string, w io.Writer) error {
+	report := JSONReport{
+		Experiment: id,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      cfg.Scale,
+		Seed:       cfg.Seed,
+	}
+	switch id {
+	case "multiq":
+		rows, err := MultiQData(cfg)
+		if err != nil {
+			return err
+		}
+		report.Rows = rows
+	default:
+		return fmt.Errorf("experiments: %q has no JSON driver (supported: multiq)", id)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

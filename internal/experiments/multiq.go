@@ -13,12 +13,24 @@ import (
 // MultiQRow is one shard-count measurement of the sharded multi-query
 // engine.
 type MultiQRow struct {
-	Shards     int
-	Queries    int
-	Throughput float64       // tuples per second, whole stream
-	Speedup    float64       // vs the 1-shard run
-	Elapsed    time.Duration //
-	Balance    string        // per-shard share of insert calls
+	Shards     int           `json:"shards"`
+	Queries    int           `json:"queries"`
+	Tuples     int           `json:"tuples"`
+	Throughput float64       `json:"tuples_per_sec"` // whole stream
+	NsPerTuple float64       `json:"ns_per_tuple"`
+	Speedup    float64       `json:"speedup"` // vs the 1-shard run
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	Balance    string        `json:"-"`           // per-shard share of insert calls (text table)
+	PerShard   []ShardLoad   `json:"shard_stats"` // per-shard load counters
+}
+
+// ShardLoad is the per-shard slice of a MultiQRow.
+type ShardLoad struct {
+	Shard       int   `json:"shard"`
+	InsertCalls int64 `json:"insert_calls"`
+	Results     int64 `json:"results"`
+	Trees       int   `json:"trees"`
+	Nodes       int   `json:"nodes"`
 }
 
 // MultiQData measures the sharded concurrent multi-query engine
@@ -64,10 +76,13 @@ func MultiQData(cfg Config) ([]MultiQRow, error) {
 		rows = append(rows, MultiQRow{
 			Shards:     shards,
 			Queries:    len(queries),
+			Tuples:     len(d.Tuples),
 			Throughput: throughput,
+			NsPerTuple: float64(elapsed.Nanoseconds()) / float64(len(d.Tuples)),
 			Speedup:    throughput / base,
 			Elapsed:    elapsed,
 			Balance:    shardBalance(eng),
+			PerShard:   shardLoads(eng),
 		})
 		eng.Close()
 	}
@@ -91,6 +106,22 @@ func shardBalance(eng *shard.Engine) string {
 			out += "/"
 		}
 		out += fmt.Sprintf("%.0f%%", 100*float64(st.InsertCalls)/float64(total))
+	}
+	return out
+}
+
+// shardLoads snapshots each shard's load counters for the JSON report.
+func shardLoads(eng *shard.Engine) []ShardLoad {
+	ss := eng.ShardStats()
+	out := make([]ShardLoad, len(ss))
+	for i, st := range ss {
+		out[i] = ShardLoad{
+			Shard:       i,
+			InsertCalls: st.InsertCalls,
+			Results:     st.Results,
+			Trees:       st.Trees,
+			Nodes:       st.Nodes,
+		}
 	}
 	return out
 }

@@ -1,0 +1,166 @@
+// Package persist is the durability subsystem: periodic checksummed
+// snapshots of the engine state (internal/core state structs) plus a
+// segmented tuple write-ahead log, so a restarted engine resumes
+// mid-stream instead of replaying the whole window (cf. "Fast Failure
+// Recovery for Main-Memory DBMSs on Multicores").
+//
+// On-disk layout of a persistence directory:
+//
+//	snap-<G>.ckpt   snapshot of the full engine state at generation G
+//	wal-<G>.log     batches applied after snapshot G (and their commits)
+//
+// A snapshot at generation G closes wal segment G-1 and opens segment
+// G, so recovery from snapshot G replays segments G, G+1, ... in order
+// (later segments exist when a newer snapshot was written but fails its
+// checksum and recovery falls back). Both file kinds are versioned and
+// checksummed: a snapshot carries one whole-file CRC, the WAL carries a
+// CRC per record so a torn tail (the crash case) invalidates only the
+// records after the tear.
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// encoder builds a byte buffer out of varint-encoded primitives. All
+// multi-byte framing in the snapshot and WAL formats goes through it.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u64(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *encoder) i64(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+func (e *encoder) bool(b bool) {
+	if b {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+func (e *encoder) byte(b byte) {
+	e.buf = append(e.buf, b)
+}
+
+func (e *encoder) str(s string) {
+	e.u64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) strs(ss []string) {
+	e.u64(uint64(len(ss)))
+	for _, s := range ss {
+		e.str(s)
+	}
+}
+
+// decoder consumes a byte buffer produced by encoder. The first error
+// latches: subsequent reads return zero values, so call sites can decode
+// a whole section and check err once.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("persist: truncated uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("persist: truncated varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) bool() bool {
+	return d.byte() != 0
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("persist: truncated byte at offset %d", d.off)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// count reads a length prefix and bounds-checks it against the bytes
+// that could plausibly remain (each element needs at least minBytes), so
+// a corrupt length cannot drive a huge allocation.
+func (d *decoder) count(minBytes int) int {
+	n := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n > uint64((len(d.buf)-d.off)/minBytes)+1 {
+		d.fail("persist: implausible count %d at offset %d", n, d.off)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) str() string {
+	n := d.count(1)
+	if d.err != nil {
+		return ""
+	}
+	if d.off+n > len(d.buf) {
+		d.fail("persist: truncated string at offset %d", d.off)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) strs() []string {
+	n := d.count(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.str())
+	}
+	return out
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// Non-unix platforms run without inter-process locking; the directory
+// is still protected against double-enable within one process by
+// Create's existing-state check.
+func acquireDirLock(string) (*os.File, error) { return nil, nil }
+
+func releaseDirLock(*os.File) {}

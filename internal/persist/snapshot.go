@@ -1,0 +1,488 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"streamrpq/internal/core"
+	"streamrpq/internal/graph"
+	"streamrpq/internal/stream"
+	"streamrpq/internal/window"
+)
+
+// Snapshot file format (snap-<G>.ckpt):
+//
+//	magic    "SRPQSNAP"      8 bytes
+//	version  uint8           currently 1
+//	payload  varint-encoded sections (see encodeSnapshot)
+//	crc32    uint32 LE       IEEE, over magic+version+payload
+//
+// The trailing whole-file checksum means any bit flip or truncation is
+// detected before a single field is trusted; recovery then falls back
+// to the previous generation's snapshot.
+
+const (
+	snapMagic   = "SRPQSNAP"
+	snapVersion = 1
+)
+
+// Snapshot is the full checkpointable state of a facade evaluator: the
+// metadata needed to reconstruct it (window spec, query sources in
+// registration order, backend kind and shard count), the dictionaries,
+// the facade stream clock, and the coordinator state (shared graph +
+// window clock + per-query Δ indexes).
+type Snapshot struct {
+	Gen            uint64
+	Spec           window.Spec
+	Sharded        bool
+	Shards         int
+	Queries        []string // source expressions, registration order
+	Vertices       []string // vertex dictionary, id order
+	Labels         []string // label dictionary, id order
+	LastTS         int64
+	Started        bool
+	AppliedTuples  int64 // tuples ingested since stream start (for resume-skip)
+	AppliedBatches uint64
+	State          *core.MultiState
+}
+
+func encodeStats(e *encoder, st core.StatState) {
+	e.i64(st.Results)
+	e.i64(st.Invalidations)
+	e.i64(st.TuplesSeen)
+	e.i64(st.TuplesDropped)
+	e.i64(st.ExpiryRuns)
+	e.i64(st.ExpiryTimeNS)
+	e.i64(st.InsertCalls)
+	e.i64(st.ConflictsFound)
+	e.i64(st.Unmarkings)
+}
+
+func decodeStats(d *decoder) core.StatState {
+	return core.StatState{
+		Results:        d.i64(),
+		Invalidations:  d.i64(),
+		TuplesSeen:     d.i64(),
+		TuplesDropped:  d.i64(),
+		ExpiryRuns:     d.i64(),
+		ExpiryTimeNS:   d.i64(),
+		InsertCalls:    d.i64(),
+		ConflictsFound: d.i64(),
+		Unmarkings:     d.i64(),
+	}
+}
+
+func encodeWinState(e *encoder, st window.State) {
+	e.i64(st.Boundary)
+	e.bool(st.Started)
+}
+
+func decodeWinState(d *decoder) window.State {
+	return window.State{Boundary: d.i64(), Started: d.bool()}
+}
+
+// encodeEdges delta-encodes the timestamp column: snapshot edges are
+// sorted by timestamp, so deltas stay small.
+func encodeEdges(e *encoder, edges []graph.Edge) {
+	e.u64(uint64(len(edges)))
+	var last int64
+	for i, ed := range edges {
+		if i == 0 {
+			e.i64(ed.TS)
+		} else {
+			e.i64(ed.TS - last)
+		}
+		last = ed.TS
+		e.u64(uint64(ed.Src))
+		e.u64(uint64(ed.Dst))
+		e.u64(uint64(uint32(ed.Label)))
+	}
+}
+
+func decodeEdges(d *decoder) []graph.Edge {
+	n := d.count(4)
+	if n == 0 {
+		return nil
+	}
+	edges := make([]graph.Edge, 0, n)
+	var last int64
+	for i := 0; i < n; i++ {
+		ts := d.i64()
+		if i > 0 {
+			ts += last
+		}
+		last = ts
+		edges = append(edges, graph.Edge{
+			TS:    ts,
+			Src:   stream.VertexID(d.u64()),
+			Dst:   stream.VertexID(d.u64()),
+			Label: stream.LabelID(uint32(d.u64())),
+		})
+	}
+	return edges
+}
+
+func encodeRAPQState(e *encoder, st *core.RAPQState) {
+	e.i64(st.Now)
+	e.i64(st.Deadline)
+	encodeWinState(e, st.Win)
+	encodeStats(e, st.Stats)
+	e.u64(uint64(len(st.Trees)))
+	for _, tr := range st.Trees {
+		e.u64(uint64(tr.Root))
+		e.u64(uint64(len(tr.Nodes)))
+		for _, n := range tr.Nodes {
+			e.u64(uint64(n.V))
+			e.u64(uint64(uint32(n.S)))
+			e.i64(n.TS)
+			e.u64(uint64(n.ParentV))
+			e.u64(uint64(uint32(n.ParentS)))
+		}
+	}
+}
+
+func decodeRAPQState(d *decoder) *core.RAPQState {
+	st := &core.RAPQState{
+		Now:      d.i64(),
+		Deadline: d.i64(),
+		Win:      decodeWinState(d),
+		Stats:    decodeStats(d),
+	}
+	ntrees := d.count(2)
+	for i := 0; i < ntrees && d.err == nil; i++ {
+		tr := core.TreeState{Root: stream.VertexID(d.u64())}
+		nnodes := d.count(5)
+		tr.Nodes = make([]core.TreeNodeState, 0, nnodes)
+		for j := 0; j < nnodes && d.err == nil; j++ {
+			tr.Nodes = append(tr.Nodes, core.TreeNodeState{
+				V:       stream.VertexID(d.u64()),
+				S:       int32(uint32(d.u64())),
+				TS:      d.i64(),
+				ParentV: stream.VertexID(d.u64()),
+				ParentS: int32(uint32(d.u64())),
+			})
+		}
+		st.Trees = append(st.Trees, tr)
+	}
+	return st
+}
+
+// EncodeRSPQState serializes a simple-path engine's Δ index: the
+// instance lists (with order and parent links) and the marking sets.
+func encodeRSPQState(e *encoder, st *core.RSPQState) {
+	e.i64(st.Now)
+	encodeWinState(e, st.Win)
+	encodeStats(e, st.Stats)
+	e.bool(st.BudgetHit)
+	e.u64(uint64(len(st.Trees)))
+	for _, tr := range st.Trees {
+		e.u64(uint64(tr.RootV))
+		e.u64(uint64(len(tr.Nodes)))
+		for _, n := range tr.Nodes {
+			e.u64(uint64(n.V))
+			e.u64(uint64(uint32(n.S)))
+			e.i64(n.TS)
+			e.i64(int64(n.Parent))
+		}
+		e.u64(uint64(len(tr.Marked)))
+		for _, mk := range tr.Marked {
+			e.u64(mk)
+		}
+	}
+}
+
+func decodeRSPQState(d *decoder) *core.RSPQState {
+	st := &core.RSPQState{
+		Now:   d.i64(),
+		Win:   decodeWinState(d),
+		Stats: decodeStats(d),
+	}
+	st.BudgetHit = d.bool()
+	ntrees := d.count(2)
+	for i := 0; i < ntrees && d.err == nil; i++ {
+		tr := core.SPTreeState{RootV: stream.VertexID(d.u64())}
+		nnodes := d.count(4)
+		tr.Nodes = make([]core.SPNodeState, 0, nnodes)
+		for j := 0; j < nnodes && d.err == nil; j++ {
+			tr.Nodes = append(tr.Nodes, core.SPNodeState{
+				V:      stream.VertexID(d.u64()),
+				S:      int32(uint32(d.u64())),
+				TS:     d.i64(),
+				Parent: int32(d.i64()),
+			})
+		}
+		nmarked := d.count(1)
+		tr.Marked = make([]uint64, 0, nmarked)
+		for j := 0; j < nmarked && d.err == nil; j++ {
+			tr.Marked = append(tr.Marked, d.u64())
+		}
+		st.Trees = append(st.Trees, tr)
+	}
+	return st
+}
+
+func encodeMultiState(e *encoder, st *core.MultiState) {
+	e.i64(st.Now)
+	e.i64(st.Seen)
+	e.i64(st.Dropped)
+	encodeWinState(e, st.Win)
+	encodeEdges(e, st.Edges)
+	e.u64(uint64(len(st.Members)))
+	for _, m := range st.Members {
+		encodeRAPQState(e, m)
+	}
+}
+
+func decodeMultiState(d *decoder) *core.MultiState {
+	st := &core.MultiState{
+		Now:     d.i64(),
+		Seen:    d.i64(),
+		Dropped: d.i64(),
+		Win:     decodeWinState(d),
+		Edges:   decodeEdges(d),
+	}
+	nmembers := d.count(2)
+	for i := 0; i < nmembers && d.err == nil; i++ {
+		st.Members = append(st.Members, decodeRAPQState(d))
+	}
+	return st
+}
+
+// verifyEnvelope checks a checksummed file's framing — minimum length,
+// magic, and the trailing whole-file CRC32 — and returns the body (the
+// bytes under the checksum, magic included) for decoding. Every
+// checksummed format (snapshot, engine snapshot) validates through
+// this one helper so the rules cannot diverge between readers.
+func verifyEnvelope(magic string, data []byte) ([]byte, error) {
+	if len(data) < len(magic)+1+4 {
+		return nil, fmt.Errorf("persist: %s file too short (%d bytes)", magic, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("persist: bad magic %q (want %s)", data[:len(magic)], magic)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("persist: %s checksum mismatch (file %08x, computed %08x)", magic, want, got)
+	}
+	return body, nil
+}
+
+// EncodeSnapshot renders the snapshot into the versioned, checksummed
+// file format.
+func EncodeSnapshot(s *Snapshot) []byte {
+	e := &encoder{buf: make([]byte, 0, 4096)}
+	e.buf = append(e.buf, snapMagic...)
+	e.byte(snapVersion)
+	e.u64(s.Gen)
+	e.i64(s.Spec.Size)
+	e.i64(s.Spec.Slide)
+	e.bool(s.Sharded)
+	e.u64(uint64(s.Shards))
+	e.strs(s.Queries)
+	e.strs(s.Vertices)
+	e.strs(s.Labels)
+	e.i64(s.LastTS)
+	e.bool(s.Started)
+	e.i64(s.AppliedTuples)
+	e.u64(s.AppliedBatches)
+	encodeMultiState(e, s.State)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, crc32.ChecksumIEEE(e.buf))
+	return e.buf
+}
+
+// DecodeSnapshot parses and verifies a snapshot file's contents.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	body, err := verifyEnvelope(snapMagic, data)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{buf: body, off: len(snapMagic)}
+	if v := d.byte(); v != snapVersion {
+		return nil, fmt.Errorf("persist: unsupported snapshot version %d", v)
+	}
+	s := &Snapshot{
+		Gen:  d.u64(),
+		Spec: window.Spec{Size: d.i64(), Slide: d.i64()},
+	}
+	s.Sharded = d.bool()
+	s.Shards = int(d.u64())
+	s.Queries = d.strs()
+	s.Vertices = d.strs()
+	s.Labels = d.strs()
+	s.LastTS = d.i64()
+	s.Started = d.bool()
+	s.AppliedTuples = d.i64()
+	s.AppliedBatches = d.u64()
+	s.State = decodeMultiState(d)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("persist: %d trailing bytes after snapshot payload", d.remaining())
+	}
+	return s, nil
+}
+
+// SnapshotPath returns the file name of generation g in dir.
+func SnapshotPath(dir string, g uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%08d.ckpt", g))
+}
+
+func walPath(dir string, g uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", g))
+}
+
+// writeFileAtomic writes data to path via a temp file + rename so a
+// crash mid-write never leaves a half-written file under the final name.
+func writeFileAtomic(path string, data []byte, fsync bool) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if fsync {
+		if d, err := os.Open(filepath.Dir(path)); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return nil
+}
+
+// ReadSnapshotFile reads and verifies one snapshot file.
+func ReadSnapshotFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSnapshot(data)
+}
+
+// snapshotFileGen verifies a snapshot file's integrity (magic, version,
+// whole-file CRC) and returns its generation without materializing the
+// engine state — the cheap validity probe pruning runs per checkpoint.
+func snapshotFileGen(path string) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	body, err := verifyEnvelope(snapMagic, data)
+	if err != nil {
+		return 0, fmt.Errorf("%w (%s)", err, path)
+	}
+	d := &decoder{buf: body, off: len(snapMagic)}
+	if v := d.byte(); v != snapVersion {
+		return 0, fmt.Errorf("persist: %s: unsupported snapshot version %d", path, v)
+	}
+	g := d.u64()
+	return g, d.err
+}
+
+// Engine snapshot: the standalone single-engine variant of the facade
+// snapshot, pairing one engine's Δ state with its private graph. It is
+// the unit the multi-query format is built from and what a future
+// single-query facade persistence would use; the RSPQ arm is what makes
+// simple-path state (instance lists, markings) expressible in the file
+// format.
+
+// Engine snapshot kinds.
+const (
+	KindRAPQ = uint8(0)
+	KindRSPQ = uint8(1)
+)
+
+const (
+	engineMagic   = "SRPQENGS"
+	engineVersion = 1
+)
+
+// EngineSnapshot is a standalone engine checkpoint.
+type EngineSnapshot struct {
+	Kind  uint8
+	Spec  window.Spec
+	Edges []graph.Edge
+	RAPQ  *core.RAPQState // set when Kind == KindRAPQ
+	RSPQ  *core.RSPQState // set when Kind == KindRSPQ
+}
+
+// EncodeEngineSnapshot renders a standalone engine checkpoint in the
+// versioned, checksummed format.
+func EncodeEngineSnapshot(s *EngineSnapshot) ([]byte, error) {
+	e := &encoder{buf: make([]byte, 0, 1024)}
+	e.buf = append(e.buf, engineMagic...)
+	e.byte(engineVersion)
+	e.byte(s.Kind)
+	e.i64(s.Spec.Size)
+	e.i64(s.Spec.Slide)
+	encodeEdges(e, s.Edges)
+	switch s.Kind {
+	case KindRAPQ:
+		if s.RAPQ == nil {
+			return nil, fmt.Errorf("persist: RAPQ engine snapshot without state")
+		}
+		encodeRAPQState(e, s.RAPQ)
+	case KindRSPQ:
+		if s.RSPQ == nil {
+			return nil, fmt.Errorf("persist: RSPQ engine snapshot without state")
+		}
+		encodeRSPQState(e, s.RSPQ)
+	default:
+		return nil, fmt.Errorf("persist: unknown engine kind %d", s.Kind)
+	}
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, crc32.ChecksumIEEE(e.buf))
+	return e.buf, nil
+}
+
+// DecodeEngineSnapshot parses and verifies a standalone engine
+// checkpoint.
+func DecodeEngineSnapshot(data []byte) (*EngineSnapshot, error) {
+	body, err := verifyEnvelope(engineMagic, data)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{buf: body, off: len(engineMagic)}
+	if v := d.byte(); v != engineVersion {
+		return nil, fmt.Errorf("persist: unsupported engine snapshot version %d", v)
+	}
+	s := &EngineSnapshot{Kind: d.byte()}
+	s.Spec = window.Spec{Size: d.i64(), Slide: d.i64()}
+	s.Edges = decodeEdges(d)
+	switch s.Kind {
+	case KindRAPQ:
+		s.RAPQ = decodeRAPQState(d)
+	case KindRSPQ:
+		s.RSPQ = decodeRSPQState(d)
+	default:
+		return nil, fmt.Errorf("persist: unknown engine kind %d", s.Kind)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("persist: %d trailing bytes after engine snapshot payload", d.remaining())
+	}
+	return s, nil
+}

@@ -1,0 +1,294 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"streamrpq/internal/stream"
+)
+
+// errTornWalHeader marks a segment whose file content is a strict
+// prefix of its expected header: the crash landed between file
+// creation and the header write. Recoverable for the final segment
+// (recreate it); fatal mid-log.
+var errTornWalHeader = errors.New("persist: torn WAL segment header")
+
+// WAL segment format (wal-<G>.log):
+//
+//	magic    "SRPQWAL"       7 bytes
+//	version  uint8           currently 1
+//	gen      uvarint         generation G (cross-check against the name)
+//	records  repeated:
+//	         type    uint8   1 = batch, 2 = commit
+//	         len     uvarint payload length
+//	         payload bytes
+//	         crc32   uint32 LE over type+len+payload
+//
+// A batch record carries the dictionary delta (vertex and label names
+// interned since the previous record) followed by the tuples of one
+// ingested batch, encoded with the internal/stream binary codec. A
+// commit record acknowledges every batch record appended since the
+// previous commit (the facade writes one commit per batch, so the set
+// is normally a singleton; recovery writes one commit for the batches
+// it redelivers). On recovery, acknowledged batches have their results
+// suppressed — they were already emitted before the crash — while
+// unacknowledged trailing batches are re-emitted exactly once.
+//
+// Each record is independently checksummed and written with a single
+// write call, so a crash mid-append leaves a torn tail that the reader
+// detects and discards; everything before it replays cleanly.
+
+const (
+	walMagic   = "SRPQWAL"
+	walVersion = 1
+
+	recBatch  = uint8(1)
+	recCommit = uint8(2)
+)
+
+// WalRecord is one decoded WAL record.
+type WalRecord struct {
+	Batch   bool // true for a batch record, false for a commit
+	VDelta  []string
+	LDelta  []string
+	Tuples  []stream.Tuple
+	LastTS  int64 // commit records: stream clock at delivery
+	Results int64 // commit records: results delivered for the batch
+}
+
+// walWriter appends records to one open segment file. It tracks the
+// end offset of the last fully written record so a failed append can
+// be rolled back instead of leaving a torn record mid-log (later
+// appends would land after the tear, and recovery — which treats the
+// first bad checksum as the tail — would silently discard them).
+type walWriter struct {
+	f        *os.File
+	fsync    bool
+	off      int64 // end of the last complete record (or header)
+	poisoned error // set when a failed append could not be rolled back
+}
+
+// walHeader returns the exact header bytes of a segment for the given
+// generation. The header is fully determined, which lets recovery tell
+// a torn header write (file content is a strict prefix of this) from
+// real corruption.
+func walHeader(gen uint64) []byte {
+	e := &encoder{buf: make([]byte, 0, 16)}
+	e.buf = append(e.buf, walMagic...)
+	e.byte(walVersion)
+	e.u64(gen)
+	return e.buf
+}
+
+func createWalSegment(path string, gen uint64, fsync bool) (*walWriter, error) {
+	// O_APPEND matters beyond convenience: after a failed append is
+	// rolled back with Truncate, the next write must land at the new
+	// end-of-file, not at the stale fd offset (which would leave a
+	// zero-filled hole that recovery reads as a torn tail).
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	// On any failure past this point the created file must not survive:
+	// a leftover would make every checkpoint retry fail on O_EXCL and a
+	// headerless file would confuse the next recovery.
+	header := walHeader(gen)
+	if _, err := f.Write(header); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	w := &walWriter{f: f, fsync: fsync, off: int64(len(header))}
+	if fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+func openWalSegmentAppend(path string, fsync bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walWriter{f: f, fsync: fsync, off: info.Size()}, nil
+}
+
+// appendRecord frames and writes one record in a single write call. On
+// a write error the file is truncated back to the last good record; if
+// even that fails the writer is poisoned and refuses further appends
+// (the on-disk prefix stays valid either way).
+func (w *walWriter) appendRecord(typ uint8, payload []byte) error {
+	if w.poisoned != nil {
+		return fmt.Errorf("persist: WAL segment unusable after failed append: %w", w.poisoned)
+	}
+	e := &encoder{buf: make([]byte, 0, len(payload)+16)}
+	e.byte(typ)
+	e.u64(uint64(len(payload)))
+	e.buf = append(e.buf, payload...)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, crc32.ChecksumIEEE(e.buf))
+	if _, err := w.f.Write(e.buf); err != nil {
+		if terr := w.f.Truncate(w.off); terr != nil {
+			w.poisoned = err
+		}
+		return err
+	}
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			// Roll the record back just like a failed write: leaving it
+			// in place while reporting failure would let a retry append
+			// a duplicate record, which recovery would apply twice.
+			if terr := w.f.Truncate(w.off); terr != nil {
+				w.poisoned = err
+			}
+			return err
+		}
+	}
+	w.off += int64(len(e.buf))
+	return nil
+}
+
+// AppendBatch appends a batch record: the dictionary names interned
+// while encoding this batch, and the encoded tuples. Timestamps within
+// a batch are non-decreasing (the facade validates before appending).
+func (w *walWriter) AppendBatch(vdelta, ldelta []string, tuples []stream.Tuple) error {
+	e := &encoder{buf: make([]byte, 0, 64+16*len(tuples))}
+	e.strs(vdelta)
+	e.strs(ldelta)
+	var blob bytes.Buffer
+	bw, err := stream.NewBinaryWriter(&blob, nil)
+	if err != nil {
+		return err
+	}
+	for _, t := range tuples {
+		if err := bw.Write(t); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	e.u64(uint64(blob.Len()))
+	e.buf = append(e.buf, blob.Bytes()...)
+	return w.appendRecord(recBatch, e.buf)
+}
+
+// AppendCommit appends a commit record for the last appended batch.
+func (w *walWriter) AppendCommit(lastTS int64, results int64) error {
+	e := &encoder{buf: make([]byte, 0, 16)}
+	e.i64(lastTS)
+	e.i64(results)
+	return w.appendRecord(recCommit, e.buf)
+}
+
+func (w *walWriter) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+func decodeBatchPayload(payload []byte) (*WalRecord, error) {
+	d := &decoder{buf: payload}
+	rec := &WalRecord{Batch: true}
+	rec.VDelta = d.strs()
+	rec.LDelta = d.strs()
+	blobLen := d.count(1)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off+blobLen != len(payload) {
+		return nil, fmt.Errorf("persist: batch record blob length %d does not fill payload", blobLen)
+	}
+	br, err := stream.NewBinaryReader(bytes.NewReader(payload[d.off:]))
+	if err != nil {
+		return nil, err
+	}
+	rec.Tuples, err = br.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+func decodeCommitPayload(payload []byte) (*WalRecord, error) {
+	d := &decoder{buf: payload}
+	rec := &WalRecord{LastTS: d.i64(), Results: d.i64()}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return rec, nil
+}
+
+// replaySegment reads one WAL segment, calling fn for every valid
+// record. It returns the byte offset of the end of the last valid
+// record: a torn or corrupt tail (the crash case) stops the scan there
+// without error, so the caller can truncate and resume appending. An
+// error from fn aborts the replay and is returned.
+func replaySegment(path string, wantGen uint64, fn func(*WalRecord) error) (validLen int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	header := walHeader(wantGen)
+	if len(data) < len(header) || !bytes.Equal(data[:len(header)], header) {
+		if len(data) <= len(header) && bytes.Equal(data, header[:len(data)]) {
+			// The file holds a strict prefix of the expected header: a
+			// kill between segment creation and the header write. For
+			// the final segment this is an ordinary crash signature the
+			// caller can repair by recreating the segment; anything that
+			// is not a header prefix is real corruption.
+			return 0, fmt.Errorf("%w: %s", errTornWalHeader, path)
+		}
+		return 0, fmt.Errorf("persist: %s: bad WAL header", path)
+	}
+	valid := int64(len(header))
+	d := &decoder{buf: data, off: len(header)}
+	for d.off < len(data) {
+		start := d.off
+		typ := d.byte()
+		plen := d.count(1)
+		if d.err != nil || d.off+plen+4 > len(data) {
+			break // torn tail
+		}
+		payload := data[d.off : d.off+plen]
+		d.off += plen
+		crc := binary.LittleEndian.Uint32(data[d.off : d.off+4])
+		d.off += 4
+		if crc32.ChecksumIEEE(data[start:d.off-4]) != crc {
+			break // corrupt record
+		}
+		var rec *WalRecord
+		var derr error
+		switch typ {
+		case recBatch:
+			rec, derr = decodeBatchPayload(payload)
+		case recCommit:
+			rec, derr = decodeCommitPayload(payload)
+		default:
+			derr = fmt.Errorf("persist: unknown record type %d", typ)
+		}
+		if derr != nil {
+			break // checksummed but undecodable: treat as end of valid log
+		}
+		if err := fn(rec); err != nil {
+			return valid, err
+		}
+		valid = int64(d.off)
+	}
+	return valid, nil
+}

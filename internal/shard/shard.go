@@ -511,6 +511,57 @@ func (s *Engine) ShardStats() []core.Stats {
 	return out
 }
 
+// SnapshotState captures the engine's full state — shared graph, window
+// clock, and every member's Δ index in registration order — for a
+// checkpoint. It must be called between ProcessBatch calls: batch
+// boundaries are sub-batch barriers (every dispatched sub-batch has
+// been applied and collected), the only globally consistent points of
+// the sharded engine. The state shape is identical to the sequential
+// coordinator's, so a snapshot taken at shard count n can be restored
+// at any shard count (queries re-partition round-robin on restore).
+func (s *Engine) SnapshotState() *core.MultiState {
+	st := &core.MultiState{
+		Now:     s.now,
+		Seen:    s.seen,
+		Dropped: s.dropped,
+		Win:     s.win.State(),
+		Edges:   core.SnapshotEdges(s.g),
+	}
+	for _, mb := range s.members {
+		st.Members = append(st.Members, mb.engine.SnapshotState())
+	}
+	return st
+}
+
+// RestoreState rebuilds the engine from a checkpoint. All queries must
+// already be registered (same number, same order as at snapshot time)
+// and no batch processed yet.
+func (s *Engine) RestoreState(st *core.MultiState) error {
+	if s.closed {
+		return fmt.Errorf("shard: RestoreState on closed engine")
+	}
+	if s.started || s.seen != 0 {
+		return fmt.Errorf("shard: RestoreState after processing started")
+	}
+	if len(st.Members) != len(s.members) {
+		return fmt.Errorf("shard: restore: snapshot has %d members, engine has %d",
+			len(st.Members), len(s.members))
+	}
+	if err := core.RestoreEdges(s.g, st.Edges); err != nil {
+		return err
+	}
+	s.now = st.Now
+	s.seen = st.Seen
+	s.dropped = st.Dropped
+	s.win.SetState(st.Win)
+	for i, mb := range s.members {
+		if err := mb.engine.RestoreState(st.Members[i]); err != nil {
+			return fmt.Errorf("shard: restore member %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // Close stops the shard goroutines and waits for them to drain. The
 // engine cannot be used afterwards. Close is idempotent.
 func (s *Engine) Close() {

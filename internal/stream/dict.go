@@ -1,5 +1,7 @@
 package stream
 
+import "fmt"
+
 // Dict is a string interner assigning dense non-negative ids in
 // insertion order. It is used to dictionary-encode vertex names and
 // edge labels at the stream boundary so the engines operate on integer
@@ -46,3 +48,23 @@ func (d *Dict) Len() int { return len(d.names) }
 // Names returns the interned strings in id order. The returned slice
 // is shared; callers must not modify it.
 func (d *Dict) Names() []string { return d.names }
+
+// Load replaces the dictionary contents with names (assigning ids in
+// slice order). Entries already interned must form a prefix of names in
+// the same order — ids are stable across a checkpoint/recovery cycle
+// only if the dictionary grew deterministically — otherwise Load fails
+// without modifying the dictionary.
+func (d *Dict) Load(names []string) error {
+	if len(d.names) > len(names) {
+		return fmt.Errorf("stream: dict load: %d existing entries, only %d names", len(d.names), len(names))
+	}
+	for i, have := range d.names {
+		if have != names[i] {
+			return fmt.Errorf("stream: dict load: entry %d is %q, snapshot has %q", i, have, names[i])
+		}
+	}
+	for _, name := range names[len(d.names):] {
+		d.ID(name)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// FuzzTupleRoundTrip fuzzes the binary stream codec the checkpoint/WAL
+// formats are built on: an arbitrary label dictionary plus an arbitrary
+// tuple sequence (derived from the raw input bytes, with timestamps
+// forced non-decreasing) must encode and decode back to exactly the
+// same tuples and labels.
+func FuzzTupleRoundTrip(f *testing.F) {
+	f.Add([]byte("ab"), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte(""), []byte{})
+	f.Add([]byte("follows\x00mentions\x00a"), []byte{0xff, 0xff, 0xff, 0, 0, 0, 1})
+	f.Add([]byte("x"), bytes.Repeat([]byte{0x80, 0x01, 0x7f}, 40))
+
+	f.Fuzz(func(t *testing.T, labelBlob, tupleBlob []byte) {
+		// Derive a label dictionary: NUL-separated names, bounded count.
+		var labels []string
+		for _, part := range bytes.SplitN(labelBlob, []byte{0}, 32) {
+			if len(part) > 256 {
+				part = part[:256]
+			}
+			labels = append(labels, string(part))
+		}
+		// Derive tuples: 9 bytes each → ts step, src, dst, label, op.
+		var tuples []Tuple
+		ts := int64(0)
+		for i := 0; i+9 <= len(tupleBlob) && len(tuples) < 4096; i += 9 {
+			b := tupleBlob[i : i+9]
+			ts += int64(uint16(b[0])<<8 | uint16(b[1])) // non-decreasing
+			op := Insert
+			if b[8]&1 == 1 {
+				op = Delete
+			}
+			tuples = append(tuples, Tuple{
+				TS:    ts,
+				Src:   VertexID(uint32(b[2])<<8 | uint32(b[3])),
+				Dst:   VertexID(uint32(b[4])<<8 | uint32(b[5])),
+				Label: LabelID(uint32(b[6])<<8 | uint32(b[7])),
+				Op:    op,
+			})
+		}
+
+		var buf bytes.Buffer
+		bw, err := NewBinaryWriter(&buf, labels)
+		if err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+		for _, tu := range tuples {
+			if err := bw.Write(tu); err != nil {
+				t.Fatalf("write %v: %v", tu, err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		br, err := NewBinaryReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reader: %v", err)
+		}
+		gotLabels := br.Labels()
+		if len(gotLabels) != len(labels) {
+			t.Fatalf("label count: got %d, want %d", len(gotLabels), len(labels))
+		}
+		for i := range labels {
+			if gotLabels[i] != labels[i] {
+				t.Fatalf("label %d: got %q, want %q", i, gotLabels[i], labels[i])
+			}
+		}
+		got, err := br.ReadAll()
+		if err != nil {
+			t.Fatalf("read all: %v", err)
+		}
+		if len(got) != len(tuples) {
+			t.Fatalf("tuple count: got %d, want %d", len(got), len(tuples))
+		}
+		for i := range tuples {
+			if !reflect.DeepEqual(got[i], tuples[i]) {
+				t.Fatalf("tuple %d: got %v, want %v", i, got[i], tuples[i])
+			}
+		}
+	})
+}
+
+// FuzzBinaryReaderRobustness feeds arbitrary bytes to the decoder: it
+// must never panic or allocate unboundedly — only return tuples or an
+// error.
+func FuzzBinaryReaderRobustness(f *testing.F) {
+	// A valid tiny stream as a seed so mutations explore the format.
+	var buf bytes.Buffer
+	bw, _ := NewBinaryWriter(&buf, []string{"a", "b"})
+	bw.Write(Tuple{TS: 5, Src: 1, Dst: 2, Label: 0})
+	bw.Write(Tuple{TS: 9, Src: 2, Dst: 3, Label: 1, Op: Delete})
+	bw.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("SRPQ"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br, err := NewBinaryReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1<<16; i++ {
+			if _, err := br.Read(); err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF && err.Error() == "" {
+					t.Fatalf("empty error")
+				}
+				return
+			}
+		}
+	})
+}

@@ -78,6 +78,25 @@ func (m *Manager) Peek(ts int64) (deadline int64, due bool) {
 // Boundary returns W^e of the last expiry run.
 func (m *Manager) Boundary() int64 { return m.boundary }
 
+// State is the checkpointable position of a Manager: the last committed
+// slide boundary and whether a tuple has been observed at all.
+type State struct {
+	Boundary int64
+	Started  bool
+}
+
+// State returns the manager's current position for a checkpoint.
+func (m *Manager) State() State {
+	return State{Boundary: m.boundary, Started: m.started}
+}
+
+// SetState restores a position captured by State. The specification is
+// not part of the state; it must match by construction.
+func (m *Manager) SetState(st State) {
+	m.boundary = st.Boundary
+	m.started = st.Started
+}
+
 // floorDiv is integer division rounding toward negative infinity, so
 // negative timestamps behave consistently.
 func floorDiv(a, b int64) int64 {

@@ -27,6 +27,7 @@ type MultiEvaluator struct {
 	multi    *core.Multi   // sequential backend (default)
 	sharded  *shard.Engine // concurrent backend (after WithShards)
 	queries  []*multiMember
+	persist  *persistState // nil unless WithPersistence/Recover was used
 	lastTS   int64
 	started  bool
 }
@@ -123,6 +124,9 @@ func (m *MultiEvaluator) WithShards(n int) error {
 	if m.started {
 		return fmt.Errorf("streamrpq: WithShards after processing started")
 	}
+	if m.persist != nil {
+		return fmt.Errorf("streamrpq: WithShards after WithPersistence (choose the shard count first: it is recorded in the checkpoint metadata)")
+	}
 	eng, err := shard.New(m.spec, shard.WithShards(n))
 	if err != nil {
 		return err
@@ -152,11 +156,14 @@ func (m *MultiEvaluator) NumShards() int {
 	return 1
 }
 
-// Close releases the shard worker goroutines. It is a no-op for the
-// sequential backend and is idempotent.
+// Close releases the shard worker goroutines and closes the
+// persistence WAL (when enabled). It is idempotent.
 func (m *MultiEvaluator) Close() {
 	if m.sharded != nil {
 		m.sharded.Close()
+	}
+	if m.persist != nil {
+		m.persist.mgr.Close()
 	}
 }
 
@@ -176,8 +183,20 @@ func (m *MultiEvaluator) encode(t Tuple) stream.Tuple {
 
 // Ingest consumes one tuple and returns, per registered query, the
 // matches it produced (queries with no new matches are omitted). The
-// returned slices are reused by the next call.
+// returned slices are reused by the next call. With persistence enabled
+// the tuple is logged (and its results committed) as a batch of one.
 func (m *MultiEvaluator) Ingest(t Tuple) ([]QueryResult, error) {
+	if m.persist != nil {
+		brs, err := m.IngestBatch([]Tuple{t})
+		if err != nil {
+			return nil, err
+		}
+		out := make([]QueryResult, 0, len(brs))
+		for _, br := range brs {
+			out = append(out, QueryResult{Query: br.Query, Matches: br.Matches})
+		}
+		return out, nil
+	}
 	if m.started && t.TS < m.lastTS {
 		return nil, fmt.Errorf("streamrpq: out-of-order tuple: ts %d after %d", t.TS, m.lastTS)
 	}
@@ -239,12 +258,43 @@ func (m *MultiEvaluator) IngestBatch(tuples []Tuple) ([]BatchResult, error) {
 	if len(tuples) == 0 {
 		return nil, nil
 	}
+	if m.persist != nil {
+		if err := m.persist.pendingError(); err != nil {
+			return nil, err
+		}
+	}
+	encoded := make([]stream.Tuple, len(tuples))
+	for i, t := range tuples {
+		encoded[i] = m.encode(t)
+	}
+	if m.persist != nil {
+		if err := m.persist.appendBatch(m, encoded); err != nil {
+			return nil, err
+		}
+	}
+	out, err := m.ingestEncoded(encoded)
+	if err != nil {
+		return nil, err
+	}
+	if m.persist != nil {
+		if err := m.persist.commitBatch(m, last, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ingestEncoded drives one validated, dictionary-encoded batch through
+// the active backend and returns the grouped results. It is the shared
+// inner path of IngestBatch and of WAL replay during recovery (which
+// feeds logged id-tuples back in without re-encoding).
+func (m *MultiEvaluator) ingestEncoded(encoded []stream.Tuple) ([]BatchResult, error) {
+	if len(encoded) == 0 {
+		return nil, nil
+	}
+	last := encoded[len(encoded)-1].TS
 
 	if m.sharded != nil {
-		encoded := make([]stream.Tuple, len(tuples))
-		for i, t := range tuples {
-			encoded[i] = m.encode(t)
-		}
 		results, err := m.sharded.ProcessBatch(encoded)
 		if err != nil {
 			return nil, fmt.Errorf("streamrpq: %w", err)
@@ -268,15 +318,19 @@ func (m *MultiEvaluator) IngestBatch(tuples []Tuple) ([]BatchResult, error) {
 	}
 
 	var out []BatchResult
-	for i, t := range tuples {
-		rs, err := m.Ingest(t)
-		if err != nil {
-			return nil, err
+	for i, t := range encoded {
+		for _, member := range m.queries {
+			member.batch = member.batch[:0]
 		}
-		for _, qr := range rs {
-			matches := make([]Match, len(qr.Matches))
-			copy(matches, qr.Matches)
-			out = append(out, BatchResult{Tuple: i, Query: qr.Query, Matches: matches})
+		m.multi.Process(t)
+		m.started = true
+		m.lastTS = t.TS
+		for _, member := range m.queries {
+			if len(member.batch) > 0 {
+				matches := make([]Match, len(member.batch))
+				copy(matches, member.batch)
+				out = append(out, BatchResult{Tuple: i, Query: member.query, Matches: matches})
+			}
 		}
 	}
 	return out, nil

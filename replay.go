@@ -13,23 +13,11 @@ import (
 // the evaluator, and calls onMatch for every result produced. It
 // returns the number of tuples ingested.
 func Replay(r io.Reader, ev *Evaluator, onMatch func(Match)) (int64, error) {
-	s := bufio.NewScanner(r)
-	s.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	var n int64
-	line := 0
-	for s.Scan() {
-		line++
-		text := strings.TrimSpace(s.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		t, err := parseTupleLine(text)
-		if err != nil {
-			return n, fmt.Errorf("streamrpq: line %d: %w", line, err)
-		}
+	err := scanTupleLines(r, func(line int, t Tuple) error {
 		ms, err := ev.Ingest(t)
 		if err != nil {
-			return n, fmt.Errorf("streamrpq: line %d: %w", line, err)
+			return fmt.Errorf("streamrpq: line %d: %w", line, err)
 		}
 		n++
 		if onMatch != nil {
@@ -37,18 +25,114 @@ func Replay(r io.Reader, ev *Evaluator, onMatch func(Match)) (int64, error) {
 				onMatch(m)
 			}
 		}
-	}
-	return n, s.Err()
+		return nil
+	})
+	return n, err
 }
 
-func parseTupleLine(text string) (Tuple, error) {
+// scanTupleLines is the shared line iterator of Replay and ReplayMulti:
+// it scans the text stream format, skips comments and blank lines, and
+// calls fn for every parsed tuple with its 1-based line number.
+func scanTupleLines(r io.Reader, fn func(line int, t Tuple) error) error {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for s.Scan() {
+		line++
+		text := strings.TrimSpace(s.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		t, err := parseTupleLine(line, text)
+		if err != nil {
+			return fmt.Errorf("streamrpq: %w", err)
+		}
+		if err := fn(line, t); err != nil {
+			return err
+		}
+	}
+	return s.Err()
+}
+
+// ReplayMulti reads the same text format into a MultiEvaluator in
+// batches of batchSize tuples (amortizing the coordination cost of a
+// sharded or persisted backend), skipping the first skip tuples — the
+// resume path after Recover, where skip is AppliedTuples() and the
+// input is the same stream file the crashed run was fed. onResult is
+// called for every batch result in canonical order; tuple indexes are
+// relative to the internal batch. It returns the number of tuples
+// ingested (excluding skipped ones).
+func ReplayMulti(r io.Reader, m *MultiEvaluator, batchSize int, skip int64, onResult func(BatchResult)) (int64, error) {
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	var n, lastTS int64
+	started := false
+	lastLine, batchFirstLine := 0, 0
+	batch := make([]Tuple, 0, batchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		brs, err := m.IngestBatch(batch)
+		if err != nil {
+			// Malformed input (out-of-order tuples) is caught per line
+			// below, so a batch failure here is an engine/durability
+			// condition; attribute it to the batch's input range.
+			return fmt.Errorf("streamrpq: lines %d-%d: %w", batchFirstLine, lastLine, err)
+		}
+		n += int64(len(batch))
+		batch = batch[:0]
+		if onResult != nil {
+			for _, br := range brs {
+				onResult(br)
+			}
+		}
+		return nil
+	}
+	err := scanTupleLines(r, func(line int, t Tuple) error {
+		lastLine = line
+		// Validate timestamp order here, against the stream as a whole,
+		// so the error names the offending line instead of surfacing at
+		// the next batch flush. Skipped tuples advance the clock too:
+		// they were applied by the run being resumed.
+		if started && t.TS < lastTS {
+			return fmt.Errorf("streamrpq: line %d: out-of-order tuple: ts %d after %d", line, t.TS, lastTS)
+		}
+		started, lastTS = true, t.TS
+		if skip > 0 {
+			skip--
+			return nil
+		}
+		if len(batch) == 0 {
+			batchFirstLine = line
+		}
+		batch = append(batch, t)
+		if len(batch) >= batchSize {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	if err := flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// parseTupleLine parses one stream-file line. line is the 1-based line
+// number, included in errors so malformed stream files point at the
+// offending line.
+func parseTupleLine(line int, text string) (Tuple, error) {
 	fields := strings.Fields(text)
 	if len(fields) < 4 || len(fields) > 5 {
-		return Tuple{}, fmt.Errorf("want 4 or 5 fields, got %d", len(fields))
+		return Tuple{}, fmt.Errorf("line %d: want 4 or 5 fields, got %d", line, len(fields))
 	}
 	ts, err := strconv.ParseInt(fields[0], 10, 64)
 	if err != nil {
-		return Tuple{}, fmt.Errorf("bad timestamp %q: %v", fields[0], err)
+		return Tuple{}, fmt.Errorf("line %d: bad timestamp %q: %v", line, fields[0], err)
 	}
 	t := Tuple{TS: ts, Src: fields[1], Dst: fields[2], Label: fields[3]}
 	if len(fields) == 5 {
@@ -57,7 +141,7 @@ func parseTupleLine(text string) (Tuple, error) {
 		case "-":
 			t.Delete = true
 		default:
-			return Tuple{}, fmt.Errorf("bad op %q (want + or -)", fields[4])
+			return Tuple{}, fmt.Errorf("line %d: bad op %q (want + or -)", line, fields[4])
 		}
 	}
 	return t, nil

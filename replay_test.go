@@ -67,6 +67,75 @@ func TestReplayParseErrors(t *testing.T) {
 	}
 }
 
+// TestReplayErrorsCarryLineNumbers: parse errors name the 1-based line
+// of the malformed input, comments and blank lines included in the
+// count, so stream files are debuggable.
+func TestReplayErrorsCarryLineNumbers(t *testing.T) {
+	in := "# header\n1 a b l\n\nbogus line\n"
+	ev, _ := NewEvaluator(MustCompile("l"), WithWindow(10, 1))
+	_, err := Replay(strings.NewReader(in), ev, nil)
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error %v does not name line 4", err)
+	}
+}
+
+// TestReplayMulti drives the batch replay path, including resume-skip.
+func TestReplayMulti(t *testing.T) {
+	in := "# s\n1 a b l\n2 b c l\n3 c d l\n"
+	mk := func() *MultiEvaluator {
+		m, err := NewMultiEvaluator(10, 1, MustCompile("l/l"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m := mk()
+	defer m.Close()
+	var got []string
+	n, err := ReplayMulti(strings.NewReader(in), m, 2, 0, func(br BatchResult) {
+		for _, mt := range br.Matches {
+			got = append(got, mt.From+"->"+mt.To)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("n = %d, want 3", n)
+	}
+	if len(got) != 2 || got[0] != "a->c" || got[1] != "b->d" {
+		t.Fatalf("matches = %v", got)
+	}
+
+	// Resume-skip: skipping the first two tuples replays only the rest.
+	m2 := mk()
+	defer m2.Close()
+	n, err = ReplayMulti(strings.NewReader(in), m2, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("n after skip = %d, want 1", n)
+	}
+
+	// And parse errors carry line numbers here too.
+	m3 := mk()
+	defer m3.Close()
+	if _, err := ReplayMulti(strings.NewReader("1 a b l\nnope\n"), m3, 2, 0, nil); err == nil ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %v does not name line 2", err)
+	}
+
+	// Out-of-order tuples are attributed to their own line, not to the
+	// later batch flush (batchSize 8 would otherwise defer detection).
+	m4 := mk()
+	defer m4.Close()
+	if _, err := ReplayMulti(strings.NewReader("5 a b l\n3 a b l\n9 a b l\n"), m4, 8, 0, nil); err == nil ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("out-of-order error %v does not name line 2", err)
+	}
+}
+
 func TestReplayCommentsAndBlank(t *testing.T) {
 	in := "# header\n\n1 a b l\n  \n2 b c l\n"
 	ev, _ := NewEvaluator(MustCompile("l/l"), WithWindow(10, 1))
