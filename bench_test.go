@@ -341,6 +341,65 @@ func BenchmarkMultiQueryShards(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiQueryPipeline measures barriered (depth 1) vs
+// pipelined (depth 2 and 4) sub-batch execution at 1 and 8 shards on
+// the same doubled SO workload. On a multicore runner the pipelined
+// variants should be at least as fast as depth 1 at ≥ 2 shards: the
+// coordinator's graph/window advance for epoch k+1 overlaps the
+// shards' Δ-index fan-out for epoch k instead of waiting behind it.
+// The structured sweep equivalent is `rpqbench -exp pipeline -json`
+// (recorded as BENCH_pipeline.json / the pipeline-sweep CI artifact).
+func BenchmarkMultiQueryPipeline(b *testing.B) {
+	benchData()
+	d := benchSO
+	qs := workload.MustQueries(d)
+	queries := append(append([]workload.Query{}, qs...), qs...)
+	span := d.Tuples[len(d.Tuples)-1].TS + 1
+
+	for _, shards := range []int{1, 8} {
+		for _, depth := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("shards%d/depth%d", shards, depth), func(b *testing.B) {
+				eng, err := shard.New(benchWindow(d), shard.WithShards(shards), shard.WithPipelineDepth(depth))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer eng.Close()
+				for _, q := range queries {
+					if _, err := eng.Add(q.Bound, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				const batchSize = 256
+				batch := make([]stream.Tuple, 0, batchSize)
+				var offset int64
+				flush := func() {
+					if len(batch) == 0 {
+						return
+					}
+					if _, err := eng.ProcessBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+					batch = batch[:0]
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					t := d.Tuples[i%len(d.Tuples)]
+					if i > 0 && i%len(d.Tuples) == 0 {
+						flush() // timestamps rebase here; keep batches ordered
+						offset += span
+					}
+					t.TS += offset
+					batch = append(batch, t)
+					if len(batch) == batchSize {
+						flush()
+					}
+				}
+				flush()
+			})
+		}
+	}
+}
+
 // BenchmarkTable1Amortized probes the amortized insert bound of Table 1
 // directly: per-tuple cost of the Δ maintenance at two window sizes
 // differing 4×; the ratio reflects the O(n) dependence on window

@@ -7,20 +7,41 @@
 //	rpqbench -exp fig4 [-scale 40000] [-seed 1]
 //	rpqbench -exp all
 //	rpqbench -exp multiq -json > BENCH_multiq.json
+//	rpqbench -exp pipeline -shards 1,2,4,8 -pipeline 1,2,4 -json > BENCH_pipeline.json
 //
 // -json emits machine-readable results (ns/op, tuples/s, per-shard
 // stats) for experiments with structured drivers, so benchmark
 // trajectories can be recorded as BENCH_*.json files across commits.
+// -shards and -pipeline override the sweep grids of the multiq and
+// pipeline experiments (comma-separated lists).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"streamrpq/internal/experiments"
 )
+
+// parseIntList parses a comma-separated list of positive ints.
+func parseIntList(flagName, s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-%s: %q is not a positive integer", flagName, part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
 
 func main() {
 	var (
@@ -29,6 +50,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed for dataset and workload generation")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of tables (structured experiments only)")
+		shards  = flag.String("shards", "", "comma-separated shard counts for the multiq/pipeline sweeps (default grid if empty)")
+		depths  = flag.String("pipeline", "", "comma-separated pipeline depths for the pipeline sweep (default 1,2,4; 1 = barriered)")
 	)
 	flag.Parse()
 
@@ -44,7 +67,20 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Scale: *scale, Out: os.Stdout, Seed: *seed}
+	shardCounts, err := parseIntList("shards", *shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpqbench: %v\n", err)
+		os.Exit(2)
+	}
+	pipelineDepths, err := parseIntList("pipeline", *depths)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpqbench: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{
+		Scale: *scale, Out: os.Stdout, Seed: *seed,
+		ShardCounts: shardCounts, PipelineDepths: pipelineDepths,
+	}
 
 	if *jsonOut {
 		if !experiments.JSONCapable(*exp) {

@@ -1,0 +1,143 @@
+package streamrpq
+
+import (
+	"reflect"
+	"testing"
+)
+
+// collectBatches drains a stream through IngestBatch and returns the
+// full grouped result sequence.
+func collectBatches(t *testing.T, m *MultiEvaluator, stream []Tuple, batch int) []BatchResult {
+	t.Helper()
+	var out []BatchResult
+	for i := 0; i < len(stream); i += batch {
+		end := min(i+batch, len(stream))
+		rs, err := m.IngestBatch(stream[i:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rs...)
+	}
+	return out
+}
+
+// TestWithPipelineDepthAgrees: the pipelined sharded backend (depths 2
+// and 4) must produce the byte-identical IngestBatch result sequence
+// of the barriered depth-1 backend, at several shard counts, and both
+// must agree with the sequential backend's match multisets.
+func TestWithPipelineDepthAgrees(t *testing.T) {
+	stream := shardStream(77, 800)
+
+	seq, err := NewMultiEvaluator(25, 5, shardQueries()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectMulti(t, seq, stream)
+	seq.Close()
+
+	for _, shards := range []int{1, 2, 8} {
+		var base []BatchResult
+		for _, depth := range []int{1, 2, 4} {
+			m, err := NewMultiEvaluator(25, 5, shardQueries()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.WithPipelineDepth(depth); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.WithShards(shards); err != nil {
+				t.Fatal(err)
+			}
+			if got := m.PipelineDepth(); got != depth {
+				t.Fatalf("PipelineDepth = %d, want %d", got, depth)
+			}
+			got := collectBatches(t, m, stream, 37)
+			if err := m.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if depth == 1 {
+				base = got
+				// Cross-check the barriered run against the sequential
+				// multisets per query.
+				gotMulti := map[string]map[Match]int{}
+				for _, br := range got {
+					name := br.Query.String()
+					if gotMulti[name] == nil {
+						gotMulti[name] = map[Match]int{}
+					}
+					for _, match := range br.Matches {
+						gotMulti[name][match]++
+					}
+				}
+				if !reflect.DeepEqual(want, gotMulti) {
+					t.Fatalf("shards=%d: barriered backend diverges from sequential", shards)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("shards=%d depth=%d: pipelined results diverge from barriered depth 1", shards, depth)
+			}
+		}
+	}
+}
+
+// TestWithPipelineDepthOrderIndependent: WithPipelineDepth composes
+// with WithShards in either order.
+func TestWithPipelineDepthOrderIndependent(t *testing.T) {
+	stream := shardStream(13, 300)
+	var ref []BatchResult
+	for _, depthFirst := range []bool{true, false} {
+		m, err := NewMultiEvaluator(20, 4, shardQueries()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if depthFirst {
+			if err := m.WithPipelineDepth(3); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.WithShards(2); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := m.WithShards(2); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.WithPipelineDepth(3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if d := m.PipelineDepth(); d != 3 {
+			t.Fatalf("depthFirst=%v: PipelineDepth = %d, want 3", depthFirst, d)
+		}
+		got := collectBatches(t, m, stream, 29)
+		m.Close()
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatal("option order changed the result stream")
+		}
+	}
+}
+
+// TestWithPipelineDepthValidation covers the guard rails.
+func TestWithPipelineDepthValidation(t *testing.T) {
+	m, err := NewMultiEvaluator(20, 4, shardQueries()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.WithPipelineDepth(0); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+	if m.PipelineDepth() != 0 {
+		t.Fatalf("sequential backend reports depth %d, want 0", m.PipelineDepth())
+	}
+	if _, err := m.Ingest(Tuple{TS: 1, Src: "x", Dst: "y", Label: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WithPipelineDepth(2); err == nil {
+		t.Fatal("WithPipelineDepth after processing started accepted")
+	}
+}

@@ -12,6 +12,17 @@ import (
 // only on the stripe of the vertex they touch instead of one global
 // mutex. Stripe count is fixed at construction; 1 stripe reproduces
 // the sequential engine's behaviour with negligible overhead.
+//
+// Epoch discipline: unlike the shared snapshot graph, the index needs
+// no version intervals. It is owned by exactly one member engine, and
+// that member applies its sub-batches strictly in epoch order (the
+// pipelined coordinator overlaps *different members'* sub-batches, and
+// the graph's epoch handle — SetReadEpoch — is what isolates those).
+// Every appendRoots snapshot therefore already reflects precisely the
+// prefix of sub-batches this member has applied, i.e. the state at the
+// member's current read epoch; within one member, index time and epoch
+// time coincide. The stripe locks exist only for the intra-member tree
+// fan-out of ParallelRAPQ, which is bracketed inside a single epoch.
 type invIndex struct {
 	stripes []invStripe
 	mask    uint32

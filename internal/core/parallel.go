@@ -60,6 +60,10 @@ func (p *ParallelRAPQ) Graph() *graph.Graph { return p.inner.g }
 // AttachGraph implements MemberEngine.
 func (p *ParallelRAPQ) AttachGraph(g *graph.Graph) { p.inner.g = g }
 
+// SetReadEpoch implements MemberEngine. Set before a fan-out; the tree
+// workers read it concurrently but never write it.
+func (p *ParallelRAPQ) SetReadEpoch(ep graph.Epoch) { p.inner.epoch = ep }
+
 // RelevantLabel implements MemberEngine.
 func (p *ParallelRAPQ) RelevantLabel(l stream.LabelID) bool { return p.inner.RelevantLabel(l) }
 
@@ -247,7 +251,7 @@ func (p *ParallelRAPQ) insertConcurrent(tx *tree, parent *treeNode, v stream.Ver
 			}
 		}
 
-		e.g.Out(op.v, func(dst stream.VertexID, l stream.LabelID, ts int64) bool {
+		e.g.OutAt(e.epoch, op.v, func(dst stream.VertexID, l stream.LabelID, ts int64) bool {
 			if ts <= validFrom || ts > e.now {
 				return true
 			}
@@ -346,7 +350,7 @@ func (p *ParallelRAPQ) expireTreeConcurrent(tx *tree, deadline int64, w *treeWor
 		v, t := key.vertex(), key.state()
 		var bestParent *treeNode
 		var bestEdgeTS, bestTS int64
-		e.g.In(v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
+		e.g.InAt(e.epoch, v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
 			if ts <= deadline || ts > e.now {
 				return true
 			}

@@ -55,6 +55,12 @@ type RAPQ struct {
 	// reconnection: rev[label][t] = states s with δ(s,label)=t.
 	rev [][][]int32
 
+	// epoch is the graph epoch this engine's traversals read at (the
+	// explicit epoch handle of the versioned snapshot graph). A
+	// coordinator sets it per sub-batch via SetReadEpoch; standalone it
+	// stays 0, matching the private graph's never-advanced epoch.
+	epoch graph.Epoch
+
 	now      int64 // largest timestamp seen
 	deadline int64 // last expiry deadline (W^e - |W|)
 	stats    Stats
@@ -117,6 +123,10 @@ func (e *RAPQ) Graph() *graph.Graph { return e.g }
 // expiry) exactly once for all member engines. Call before the first
 // tuple.
 func (e *RAPQ) AttachGraph(g *graph.Graph) { e.g = g }
+
+// SetReadEpoch implements MemberEngine: subsequent traversals observe
+// the shared graph at epoch ep.
+func (e *RAPQ) SetReadEpoch(ep graph.Epoch) { e.epoch = ep }
 
 // RelevantLabel reports whether the label is in the query alphabet ΣQ;
 // coordinators route tuples only to engines for which it is.
@@ -300,12 +310,13 @@ func (e *RAPQ) insert(tx *tree, parent *treeNode, v stream.VertexID, t int32, ed
 		}
 
 		// Lines 8–10: expand out-edges of v that are inside the window.
-		// Edges with ts > e.now have not arrived yet from this engine's
-		// point of view: a sharded coordinator advances the shared graph
-		// a whole batch at a time, so the graph may run ahead of the
-		// tuple currently being applied. Sequentially the test is
-		// vacuous (no edge outruns the stream clock).
-		e.g.Out(op.v, func(w stream.VertexID, l stream.LabelID, ts int64) bool {
+		// The traversal reads at the engine's epoch handle (sub-batch
+		// granularity); within the sub-batch the graph still runs ahead
+		// of the tuple being applied, so edges with ts > e.now have not
+		// arrived yet from this engine's point of view and are skipped.
+		// Sequentially both filters are vacuous (epoch 0, no edge
+		// outruns the stream clock).
+		e.g.OutAt(e.epoch, op.v, func(w stream.VertexID, l stream.LabelID, ts int64) bool {
 			if ts <= validFrom || ts > e.now {
 				return true // expired or not-yet-arrived: not in W_{G,τ}
 			}
@@ -409,7 +420,7 @@ func (e *RAPQ) expireTree(tx *tree, deadline int64, invalidate bool) {
 		byTarget := e.rev // rev[label][t] = sources
 		var bestParent *treeNode
 		var bestEdgeTS, bestTS int64
-		e.g.In(v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
+		e.g.InAt(e.epoch, v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
 			if ts <= deadline || ts > e.now {
 				return true // expired, or not yet arrived (batched graph)
 			}

@@ -48,6 +48,13 @@ type RSPQ struct {
 	inv   map[stream.VertexID]map[stream.VertexID]struct{}
 	rev   [][][]int32 // rev[label][t] = states s with δ(s,label)=t
 
+	// epoch is the explicit epoch handle RSPQ traversals read the
+	// snapshot graph at. The engine is strictly single-goroutine and
+	// owns its graph, so the epoch stays 0 (the private graph's current
+	// epoch); it exists so the traversals use the same versioned-read
+	// discipline as the RAPQ family.
+	epoch graph.Epoch
+
 	now        int64
 	stats      Stats
 	maxExtends int64
@@ -291,7 +298,7 @@ func (e *RSPQ) extend(tx *sptree, parent *spNode, v stream.VertexID, t int32, ed
 	}
 
 	// Lines 14–18: expand out-edges inside the window.
-	e.g.Out(v, func(w stream.VertexID, l stream.LabelID, ts int64) bool {
+	e.g.OutAt(e.epoch, v, func(w stream.VertexID, l stream.LabelID, ts int64) bool {
 		if ts <= validFrom {
 			return true
 		}
@@ -329,7 +336,7 @@ func (e *RSPQ) unmark(tx *sptree, last *spNode, validFrom int64) {
 	// were pruned while it was marked.
 	for _, key := range queue {
 		v, t := key.vertex(), key.state()
-		e.g.In(v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
+		e.g.InAt(e.epoch, v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
 			if ts <= validFrom {
 				return true
 			}
@@ -441,7 +448,7 @@ func (e *RSPQ) expireTree(tx *sptree, deadline int64, invalidate bool) {
 	validFrom := deadline
 	for key := range candidates {
 		v, t := key.vertex(), key.state()
-		e.g.In(v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
+		e.g.InAt(e.epoch, v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
 			if ts <= validFrom {
 				return true
 			}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"streamrpq/internal/stream"
+	"streamrpq/internal/window"
+)
+
+// loadFixtureStream parses a captured rspq-flake workload: '#' header
+// lines, then "ts vSRC vDST label [+|-]" tuples (the format
+// dumpFlakeWorkload writes and CI uploads as the rspq-flake-workloads
+// artifact).
+func loadFixtureStream(t *testing.T, path string, labels []string) []stream.Tuple {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	labelID := map[string]stream.LabelID{}
+	for i, l := range labels {
+		labelID[l] = stream.LabelID(i)
+	}
+	var out []stream.Tuple
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 5 {
+			t.Fatalf("%s:%d: want 5 fields, got %q", path, line, text)
+		}
+		ts, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			t.Fatalf("%s:%d: bad timestamp %q", path, line, fields[0])
+		}
+		parseV := func(s string) stream.VertexID {
+			v, err := strconv.Atoi(strings.TrimPrefix(s, "v"))
+			if err != nil {
+				t.Fatalf("%s:%d: bad vertex %q", path, line, s)
+			}
+			return stream.VertexID(v)
+		}
+		l, ok := labelID[fields[3]]
+		if !ok {
+			t.Fatalf("%s:%d: unknown label %q", path, line, fields[3])
+		}
+		op := stream.Insert
+		if fields[4] == "-" {
+			op = stream.Delete
+		}
+		out = append(out, stream.Tuple{TS: ts, Src: parseV(fields[1]), Dst: parseV(fields[2]), Label: l, Op: op})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRSPQLazyExpiryFixture is the checked-in deterministic repro of
+// the pre-existing seed bug quarantined as TestRSPQLazyExpiry (see
+// ROADMAP "RSPQ lazy-expiry completeness"): on this captured workload
+// — query (a/b)+, window size 18 / slide 4 — the RSPQ expiry
+// reconnection occasionally under-restores instances and misses an
+// oracle pair. The miss is map-iteration-order dependent, so the
+// fixture is replayed many times; while the bug exists some replay
+// fails, which keeps this test red. It stays CI-quarantined
+// (non-blocking, skipped in the main test step) until the
+// canonical-reconnection fix lands — at that point every replay passes
+// and the quarantine can be lifted. The regression test the eventual
+// fix needs is exactly this file.
+//
+// Quarantine: the test is skipped unless RSPQ_FIXTURE_REPRO is set, so
+// the plain `go test ./...` tier stays green while the bug exists; the
+// non-blocking CI step opts in (and the main CI test step's
+// `-skip 'TestRSPQLazyExpiry'` prefix regex would exclude it anyway).
+func TestRSPQLazyExpiryFixture(t *testing.T) {
+	if os.Getenv("RSPQ_FIXTURE_REPRO") == "" {
+		t.Skip("deterministic repro of the quarantined RSPQ lazy-expiry seed bug; set RSPQ_FIXTURE_REPRO=1 to run (red while the bug exists)")
+	}
+	path := filepath.Join("testdata", "rspq-lazy-expiry-trial4.stream")
+	tuples := loadFixtureStream(t, path, []string{"a", "b"})
+	if len(tuples) == 0 {
+		t.Fatalf("fixture %s is empty", path)
+	}
+	a := bind(t, "(a/b)+", "a", "b")
+	spec := window.Spec{Size: 18, Slide: 4}
+
+	const replays = 60
+	failed := 0
+	for i := 0; i < replays; i++ {
+		ok := t.Run(fmt.Sprintf("replay%d", i), func(t *testing.T) {
+			rspqReplayOracle(t, a, spec, tuples, false)
+		})
+		if !ok {
+			failed++
+		}
+	}
+	if failed > 0 {
+		t.Logf("%d/%d replays missed an oracle pair — the quarantined RSPQ lazy-expiry bug reproduces on the checked-in workload", failed, replays)
+	}
+}

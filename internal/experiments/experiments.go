@@ -33,6 +33,12 @@ type Config struct {
 	Out io.Writer
 	// Seed makes dataset generation reproducible.
 	Seed int64
+	// ShardCounts overrides the shard-count grid of the sweep
+	// experiments (multiq, pipeline); empty selects the default.
+	ShardCounts []int
+	// PipelineDepths overrides the pipeline-depth grid of the pipeline
+	// experiment; empty selects the default (1, 2, 4).
+	PipelineDepths []int
 }
 
 // DefaultConfig returns a laptop-scale configuration (~1–2 minutes for
@@ -63,6 +69,7 @@ func All() []Runner {
 		{"fig11", "Speedup over the per-tuple rescan baseline (Figure 11)", Fig11},
 		{"ablation", "Design-choice ablations: inverted index, tree parallelism, multi-query sharing", Ablation},
 		{"multiq", "Sharded concurrent multi-query engine: shard-count sweep (§7 + internal/shard)", MultiQ},
+		{"pipeline", "Pipelined sub-batches: barriered (depth 1) vs pipelined (depth ≥ 2) per shard count", Pipeline},
 	}
 }
 

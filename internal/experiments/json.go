@@ -24,7 +24,7 @@ type JSONReport struct {
 // JSONCapable reports whether the experiment has a structured-data
 // driver (only those can be emitted with -json).
 func JSONCapable(id string) bool {
-	return id == "multiq"
+	return id == "multiq" || id == "pipeline"
 }
 
 // WriteJSON runs the experiment's data driver and writes the report to
@@ -46,8 +46,14 @@ func WriteJSON(cfg Config, id string, w io.Writer) error {
 			return err
 		}
 		report.Rows = rows
+	case "pipeline":
+		rows, err := PipelineData(cfg)
+		if err != nil {
+			return err
+		}
+		report.Rows = rows
 	default:
-		return fmt.Errorf("experiments: %q has no JSON driver (supported: multiq)", id)
+		return fmt.Errorf("experiments: %q has no JSON driver (supported: multiq, pipeline)", id)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -7,6 +7,7 @@ import (
 
 	"streamrpq/internal/datasets"
 	"streamrpq/internal/shard"
+	"streamrpq/internal/window"
 	"streamrpq/internal/workload"
 )
 
@@ -18,7 +19,7 @@ type MultiQRow struct {
 	Tuples     int           `json:"tuples"`
 	Throughput float64       `json:"tuples_per_sec"` // whole stream
 	NsPerTuple float64       `json:"ns_per_tuple"`
-	Speedup    float64       `json:"speedup"` // vs the 1-shard run
+	Speedup    float64       `json:"speedup"` // vs the 1-shard run (or the grid's first entry if 1 is absent)
 	Elapsed    time.Duration `json:"elapsed_ns"`
 	Balance    string        `json:"-"`           // per-shard share of insert calls (text table)
 	PerShard   []ShardLoad   `json:"shard_stats"` // per-shard load counters
@@ -33,58 +34,105 @@ type ShardLoad struct {
 	Nodes       int   `json:"nodes"`
 }
 
+// sweepWorkload is the shared measurement harness of the shard-engine
+// sweeps (multiq, pipeline): the SO dataset, the doubled query
+// workload (so every shard owns work at 8 shards) and the 256-tuple
+// batch loop. Keeping one harness keeps the two sweeps' numbers
+// comparable.
+type sweepWorkload struct {
+	d       *datasets.Dataset
+	spec    window.Spec
+	queries []workload.Query
+}
+
+func newSweepWorkload(cfg Config) sweepWorkload {
+	d := datasets.SO(datasets.DefaultSO(cfg.Scale / 2))
+	qs := workload.MustQueries(d)
+	return sweepWorkload{
+		d:       d,
+		spec:    defaultWindow(d),
+		queries: append(append([]workload.Query{}, qs...), qs...),
+	}
+}
+
+// sweepRun is one measured engine configuration of a sweep.
+type sweepRun struct {
+	Elapsed    time.Duration
+	Throughput float64
+	NsPerTuple float64
+	Balance    string
+	PerShard   []ShardLoad
+}
+
+// measure runs the whole workload through one engine configuration.
+func (w sweepWorkload) measure(opts ...shard.Option) (sweepRun, error) {
+	eng, err := shard.New(w.spec, opts...)
+	if err != nil {
+		return sweepRun{}, err
+	}
+	defer eng.Close()
+	for _, q := range w.queries {
+		if _, err := eng.Add(q.Bound, nil); err != nil {
+			return sweepRun{}, err
+		}
+	}
+	start := time.Now()
+	const batch = 256
+	for i := 0; i < len(w.d.Tuples); i += batch {
+		end := min(i+batch, len(w.d.Tuples))
+		if _, err := eng.ProcessBatch(w.d.Tuples[i:end]); err != nil {
+			return sweepRun{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	return sweepRun{
+		Elapsed:    elapsed,
+		Throughput: float64(len(w.d.Tuples)) / elapsed.Seconds(),
+		NsPerTuple: float64(elapsed.Nanoseconds()) / float64(len(w.d.Tuples)),
+		Balance:    shardBalance(eng),
+		PerShard:   shardLoads(eng),
+	}, nil
+}
+
 // MultiQData measures the sharded concurrent multi-query engine
 // (internal/shard) running the full workload concurrently over one
 // shared window, at increasing shard counts. This extends the paper's
 // §7 multi-query direction with the inter-query parallelism the
 // single-threaded coordinator cannot exploit; speedups above 1 require
-// GOMAXPROCS > 1.
+// GOMAXPROCS > 1. Speedup is relative to the 1-shard run when the
+// grid contains one, else to the grid's first entry.
 func MultiQData(cfg Config) ([]MultiQRow, error) {
-	d := datasets.SO(datasets.DefaultSO(cfg.Scale / 2))
-	spec := defaultWindow(d)
-	qs := workload.MustQueries(d)
-	// Double the workload so every shard owns work at 8 shards.
-	queries := append(append([]workload.Query{}, qs...), qs...)
-
+	w := newSweepWorkload(cfg)
+	shardCounts := cfg.ShardCounts
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4, 8}
+	}
 	var rows []MultiQRow
-	var base float64
-	for _, shards := range []int{1, 2, 4, 8} {
-		eng, err := shard.New(spec, shard.WithShards(shards))
+	for _, shards := range shardCounts {
+		run, err := w.measure(shard.WithShards(shards))
 		if err != nil {
 			return nil, err
 		}
-		for _, q := range queries {
-			if _, err := eng.Add(q.Bound, nil); err != nil {
-				eng.Close()
-				return nil, err
-			}
-		}
-		start := time.Now()
-		const batch = 256
-		for i := 0; i < len(d.Tuples); i += batch {
-			end := min(i+batch, len(d.Tuples))
-			if _, err := eng.ProcessBatch(d.Tuples[i:end]); err != nil {
-				eng.Close()
-				return nil, err
-			}
-		}
-		elapsed := time.Since(start)
-		throughput := float64(len(d.Tuples)) / elapsed.Seconds()
-		if shards == 1 {
-			base = throughput
-		}
 		rows = append(rows, MultiQRow{
 			Shards:     shards,
-			Queries:    len(queries),
-			Tuples:     len(d.Tuples),
-			Throughput: throughput,
-			NsPerTuple: float64(elapsed.Nanoseconds()) / float64(len(d.Tuples)),
-			Speedup:    throughput / base,
-			Elapsed:    elapsed,
-			Balance:    shardBalance(eng),
-			PerShard:   shardLoads(eng),
+			Queries:    len(w.queries),
+			Tuples:     len(w.d.Tuples),
+			Throughput: run.Throughput,
+			NsPerTuple: run.NsPerTuple,
+			Elapsed:    run.Elapsed,
+			Balance:    run.Balance,
+			PerShard:   run.PerShard,
 		})
-		eng.Close()
+	}
+	base := rows[0].Throughput
+	for _, r := range rows {
+		if r.Shards == 1 {
+			base = r.Throughput
+			break
+		}
+	}
+	for i := range rows {
+		rows[i].Speedup = rows[i].Throughput / base
 	}
 	return rows, nil
 }

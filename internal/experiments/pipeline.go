@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"streamrpq/internal/shard"
+)
+
+// PipelineRow is one (shard count, pipeline depth) measurement of the
+// sharded multi-query engine: barriered (depth 1) vs pipelined
+// (depth ≥ 2) sub-batch execution over the same workload.
+type PipelineRow struct {
+	Shards     int     `json:"shards"`
+	Depth      int     `json:"pipeline_depth"`
+	Queries    int     `json:"queries"`
+	Tuples     int     `json:"tuples"`
+	Throughput float64 `json:"tuples_per_sec"`
+	NsPerTuple float64 `json:"ns_per_tuple"`
+	// SpeedupVsBarrier is throughput relative to the barriered depth-1
+	// run at the same shard count — the pipelining win in isolation.
+	// When a custom -pipeline grid omits depth 1 it falls back to the
+	// grid's first depth at that shard count.
+	SpeedupVsBarrier float64       `json:"speedup_vs_barrier"`
+	Elapsed          time.Duration `json:"elapsed_ns"`
+	PerShard         []ShardLoad   `json:"shard_stats"`
+}
+
+// defaultPipelineShards and defaultPipelineDepths are the sweep grid
+// when the caller does not override it (rpqbench -shards / -pipeline).
+var (
+	defaultPipelineShards = []int{1, 2, 4, 8}
+	defaultPipelineDepths = []int{1, 2, 4}
+)
+
+// PipelineData benchmarks barriered vs pipelined sub-batch execution:
+// for every shard count it runs the full multi-query workload at each
+// pipeline depth over one shared window (the same harness as the
+// multiq sweep, so the two stay comparable). Depth 1 is the fully
+// barriered coordinator (the pre-epoch engine); deeper pipelines let
+// the coordinator advance the epoch-versioned graph while shards still
+// fan out earlier sub-batches. Speedups need GOMAXPROCS > 1 — on one
+// core the pipeline has nobody to overlap with.
+func PipelineData(cfg Config) ([]PipelineRow, error) {
+	w := newSweepWorkload(cfg)
+	shardCounts := cfg.ShardCounts
+	if len(shardCounts) == 0 {
+		shardCounts = defaultPipelineShards
+	}
+	depths := cfg.PipelineDepths
+	if len(depths) == 0 {
+		depths = defaultPipelineDepths
+	}
+
+	var rows []PipelineRow
+	for _, shards := range shardCounts {
+		first := len(rows)
+		for _, depth := range depths {
+			run, err := w.measure(shard.WithShards(shards), shard.WithPipelineDepth(depth))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, PipelineRow{
+				Shards:     shards,
+				Depth:      depth,
+				Queries:    len(w.queries),
+				Tuples:     len(w.d.Tuples),
+				Throughput: run.Throughput,
+				NsPerTuple: run.NsPerTuple,
+				Elapsed:    run.Elapsed,
+				PerShard:   run.PerShard,
+			})
+		}
+		barrier := rows[first].Throughput
+		for _, r := range rows[first:] {
+			if r.Depth == 1 {
+				barrier = r.Throughput
+				break
+			}
+		}
+		for i := first; i < len(rows); i++ {
+			rows[i].SpeedupVsBarrier = rows[i].Throughput / barrier
+		}
+	}
+	return rows, nil
+}
+
+// Pipeline prints the barriered-vs-pipelined sweep.
+func Pipeline(cfg Config) error {
+	rows, err := PipelineData(cfg)
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, fmt.Sprintf(
+		"Pipelined sub-batches: shards × pipeline-depth sweep on SO (%d cores available)",
+		runtime.GOMAXPROCS(0)))
+	var tab [][]string
+	for _, r := range rows {
+		tab = append(tab, []string{
+			fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%d", r.Depth),
+			fmt.Sprintf("%d", r.Queries),
+			eps(r.Throughput),
+			fmt.Sprintf("%.2fx", r.SpeedupVsBarrier),
+		})
+	}
+	table(cfg.Out, []string{"shards", "depth", "queries", "tuples/s", "vs barrier"}, tab)
+	return nil
+}

@@ -9,11 +9,51 @@
 // Expiry removes all edges whose timestamp has fallen out of the
 // window, using a lazy FIFO of insertions that exploits the
 // non-decreasing timestamp order of the stream.
+//
+// # Epoch versioning
+//
+// The graph is multi-versioned at sub-batch granularity so a pipelined
+// coordinator (internal/shard) can keep mutating it while reader
+// goroutines still traverse an older logical snapshot. Every edge
+// version carries a validity interval [added, removed) in epochs; the
+// single writer advances the epoch with AdvanceEpoch before each group
+// of mutations, and readers observe exactly the versions valid at the
+// epoch they were handed (OutAt/InAt/TSAt/...). Readers register the
+// epoch they traverse with AcquireEpoch/ReleaseEpoch; versions no
+// reader can see anymore are compacted away by an amortized-O(1)
+// garbage collector, so a graph whose readers have all retired is
+// byte-identical in content to a never-versioned graph fed the same
+// stream. The zero-value discipline — never advancing the epoch and
+// never acquiring readers — degenerates to an unversioned graph: every
+// superseded version is overwritten in place, exactly the pre-epoch
+// behaviour and cost.
+//
+// # Concurrency
+//
+// All methods are safe for one writer goroutine concurrent with any
+// number of reader goroutines (a sync.RWMutex guards the maps; readers
+// hold the read lock for the duration of one traversal callback loop).
+// Traversal callbacks must not call back into graph read methods when a
+// concurrent writer exists — a recursive read lock can deadlock behind
+// a blocked writer. The stack-based traversals of internal/core's
+// member engines satisfy this; the recursive RSPQ engine only ever
+// owns a private, single-goroutine graph.
 package graph
 
 import (
+	"math"
+	"sync"
+
 	"streamrpq/internal/stream"
 )
+
+// Epoch is a logical version of the graph. The writer advances it with
+// AdvanceEpoch; a reader holding epoch e observes exactly the edge
+// versions v with v.added <= e < v.removed.
+type Epoch uint64
+
+// liveEpoch marks a version that has not been superseded or removed.
+const liveEpoch = Epoch(math.MaxUint64)
 
 // Edge is one labeled, timestamped edge of the snapshot graph.
 type Edge struct {
@@ -33,12 +73,58 @@ func mkHalfKey(v stream.VertexID, l stream.LabelID) halfKey {
 func (k halfKey) vertex() stream.VertexID { return stream.VertexID(k >> 32) }
 func (k halfKey) label() stream.LabelID   { return stream.LabelID(uint32(k)) }
 
+// version is one validity interval of an edge: the timestamp it carried
+// and the epoch range [added, removed) during which it is visible.
+type version struct {
+	ts      int64
+	added   Epoch
+	removed Epoch // liveEpoch while current
+}
+
+// visibleAt reports whether the version is observable at epoch e.
+func (v version) visibleAt(e Epoch) bool { return v.added <= e && e < v.removed }
+
+// cell is the version chain of one (src,dst,label) edge. The newest
+// version is inline; superseded versions that an active reader may
+// still observe overflow into older (epoch-ascending). In the common
+// unversioned case older is nil and a cell costs one inline version.
+type cell struct {
+	version
+	older []version
+}
+
+// at returns the version of the cell visible at epoch e.
+func (c cell) at(e Epoch) (version, bool) {
+	if c.visibleAt(e) {
+		return c.version, true
+	}
+	for i := len(c.older) - 1; i >= 0; i-- {
+		if c.older[i].visibleAt(e) {
+			return c.older[i], true
+		}
+	}
+	return version{}, false
+}
+
+// live reports whether the cell's newest version is current.
+func (c cell) live() bool { return c.removed == liveEpoch }
+
 // Graph is the snapshot graph of the current window.
 type Graph struct {
-	out map[stream.VertexID]map[halfKey]int64 // src -> (dst,label) -> ts
-	in  map[stream.VertexID]map[halfKey]int64 // dst -> (src,label) -> ts
+	mu  sync.RWMutex
+	out map[stream.VertexID]map[halfKey]cell // src -> (dst,label) -> versions
+	in  map[stream.VertexID]map[halfKey]cell // dst -> (src,label) -> versions
 
-	numEdges int
+	numEdges int // edges live at the current epoch
+
+	epoch   Epoch         // current (writer) epoch
+	readers map[Epoch]int // active reader refcounts per epoch
+
+	// pending queues edge keys whose superseded versions await
+	// compaction, in removal-epoch order (removal epochs are monotone
+	// because the single writer only ever advances the epoch).
+	pending     []gcEntry
+	pendingHead int
 
 	// fifo holds insertion records in arrival order. Stream timestamps
 	// are non-decreasing, so expiry pops from the front. Entries are
@@ -47,143 +133,393 @@ type Graph struct {
 	head int
 }
 
+type gcEntry struct {
+	key     stream.EdgeKey
+	removed Epoch
+}
+
 type fifoEntry struct {
 	key stream.EdgeKey
 	ts  int64
 }
 
-// New returns an empty snapshot graph.
+// New returns an empty snapshot graph at epoch 0.
 func New() *Graph {
 	return &Graph{
-		out: make(map[stream.VertexID]map[halfKey]int64),
-		in:  make(map[stream.VertexID]map[halfKey]int64),
+		out:     make(map[stream.VertexID]map[halfKey]cell),
+		in:      make(map[stream.VertexID]map[halfKey]cell),
+		readers: make(map[Epoch]int),
 	}
 }
 
-// NumEdges returns the number of distinct (src,dst,label) edges.
-func (g *Graph) NumEdges() int { return g.numEdges }
+// Epoch returns the current writer epoch.
+func (g *Graph) Epoch() Epoch {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.epoch
+}
+
+// AdvanceEpoch moves the writer to the next epoch and returns it.
+// Mutations applied afterwards are invisible to readers holding earlier
+// epochs.
+func (g *Graph) AdvanceEpoch() Epoch {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.epoch++
+	return g.epoch
+}
+
+// AcquireEpoch registers an active reader at epoch e (normally the
+// current epoch, captured right after the writer's mutations for a
+// sub-batch). Versions visible at e are retained until the matching
+// ReleaseEpoch.
+func (g *Graph) AcquireEpoch(e Epoch) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.readers[e]++
+}
+
+// ReleaseEpoch retires a reader registered with AcquireEpoch and
+// compacts every version no remaining (or future) reader can observe.
+func (g *Graph) ReleaseEpoch(e Epoch) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n := g.readers[e]; n <= 1 {
+		delete(g.readers, e)
+	} else {
+		g.readers[e] = n - 1
+	}
+	g.gcLocked()
+}
+
+// minReaderLocked returns the oldest epoch any active reader holds; the
+// current epoch when no reader is registered. Future readers always
+// acquire at least the current epoch, so versions removed at or before
+// this bound are unobservable forever.
+func (g *Graph) minReaderLocked() Epoch {
+	min := g.epoch
+	for e := range g.readers {
+		if e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// gcLocked compacts superseded versions whose removal epoch is at or
+// below the oldest active reader. Amortized O(1) per removal: each
+// queued entry is processed once, and the queue is in removal order.
+func (g *Graph) gcLocked() {
+	minR := g.minReaderLocked()
+	for g.pendingHead < len(g.pending) && g.pending[g.pendingHead].removed <= minR {
+		g.pruneLocked(g.pending[g.pendingHead].key, minR)
+		g.pendingHead++
+	}
+	if g.pendingHead > 1024 && g.pendingHead*2 > len(g.pending) {
+		g.pending = append(g.pending[:0:0], g.pending[g.pendingHead:]...)
+		g.pendingHead = 0
+	}
+}
+
+// pruneLocked drops every version of key removed at or before bound.
+func (g *Graph) pruneLocked(key stream.EdgeKey, bound Epoch) {
+	pruneSide(g.out, key.Src, mkHalfKey(key.Dst, key.Label), bound)
+	pruneSide(g.in, key.Dst, mkHalfKey(key.Src, key.Label), bound)
+}
+
+func pruneSide(side map[stream.VertexID]map[halfKey]cell, v stream.VertexID, hk halfKey, bound Epoch) {
+	m := side[v]
+	c, ok := m[hk]
+	if !ok {
+		return
+	}
+	if c.removed <= bound {
+		// The newest version is dead, so every older one is too.
+		delete(m, hk)
+		if len(m) == 0 {
+			delete(side, v)
+		}
+		return
+	}
+	// Older versions are epoch-ascending: dead ones form a prefix.
+	cut := 0
+	for cut < len(c.older) && c.older[cut].removed <= bound {
+		cut++
+	}
+	if cut > 0 {
+		c.older = append([]version(nil), c.older[cut:]...)
+		if len(c.older) == 0 {
+			c.older = nil
+		}
+		m[hk] = c
+	}
+}
+
+// NumEdges returns the number of distinct (src,dst,label) edges live at
+// the current epoch.
+func (g *Graph) NumEdges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.numEdges
+}
 
 // NumVertices returns the number of vertices incident to at least one
-// edge.
+// edge live at the current epoch.
 func (g *Graph) NumVertices() int {
-	// Count the union of out/in keys without allocating a set when one
-	// side dominates.
-	n := len(g.out)
-	for v := range g.in {
-		if _, ok := g.out[v]; !ok {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, m := range g.out {
+		if sideHasLive(m) {
+			n++
+		}
+	}
+	for v, m := range g.in {
+		if om, ok := g.out[v]; ok && sideHasLive(om) {
+			continue
+		}
+		if sideHasLive(m) {
 			n++
 		}
 	}
 	return n
 }
 
-// Insert adds the edge (src,dst,label) with timestamp ts, refreshing
-// the timestamp if the edge exists. It reports whether the edge was new.
-func (g *Graph) Insert(src, dst stream.VertexID, label stream.LabelID, ts int64) bool {
-	ok := g.out[src]
-	if ok == nil {
-		ok = make(map[halfKey]int64)
-		g.out[src] = ok
+func sideHasLive(m map[halfKey]cell) bool {
+	for _, c := range m {
+		if c.live() {
+			return true
+		}
 	}
-	k := mkHalfKey(dst, label)
-	_, existed := ok[k]
-	ok[k] = ts
-
-	ik := g.in[dst]
-	if ik == nil {
-		ik = make(map[halfKey]int64)
-		g.in[dst] = ik
-	}
-	ik[mkHalfKey(src, label)] = ts
-
-	if !existed {
-		g.numEdges++
-	}
-	g.fifo = append(g.fifo, fifoEntry{key: stream.EdgeKey{Src: src, Dst: dst, Label: label}, ts: ts})
-	return !existed
+	return false
 }
 
-// Delete removes the edge identified by key. It reports whether the
-// edge was present.
+// Insert adds the edge (src,dst,label) with timestamp ts at the current
+// epoch, refreshing the timestamp if the edge exists (the superseded
+// version stays visible to readers of earlier epochs). It reports
+// whether the edge was new.
+func (g *Graph) Insert(src, dst stream.VertexID, label stream.LabelID, ts int64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	key := stream.EdgeKey{Src: src, Dst: dst, Label: label}
+	minR := g.minReaderLocked()
+	wasLive := g.upsertSide(g.out, src, mkHalfKey(dst, label), ts, minR)
+	g.upsertSide(g.in, dst, mkHalfKey(src, label), ts, minR)
+	if wasLive {
+		if minR < g.epoch {
+			// The superseded version stays visible to an active reader;
+			// queue it for compaction once that reader retires.
+			g.pending = append(g.pending, gcEntry{key: key, removed: g.epoch})
+		}
+	} else {
+		g.numEdges++
+	}
+	g.fifo = append(g.fifo, fifoEntry{key: key, ts: ts})
+	return !wasLive
+}
+
+// upsertSide installs the new version in one adjacency side and
+// reports whether a live version was superseded. A superseded or
+// tombstoned previous version is pushed to the overflow list iff a
+// reader at an epoch below its removal may still observe it (removal
+// epoch > minR); otherwise it is dropped on the spot — the unversioned
+// fast path that makes the zero-epoch discipline cost what the
+// pre-epoch graph did.
+func (g *Graph) upsertSide(side map[stream.VertexID]map[halfKey]cell, v stream.VertexID, hk halfKey, ts int64, minR Epoch) bool {
+	m := side[v]
+	if m == nil {
+		m = make(map[halfKey]cell)
+		side[v] = m
+	}
+	c, existed := m[hk]
+	fresh := version{ts: ts, added: g.epoch, removed: liveEpoch}
+	wasLive := false
+	if existed {
+		wasLive = c.live()
+		old := c.version
+		if wasLive {
+			old.removed = g.epoch
+		}
+		if old.removed > minR {
+			c.older = append(c.older, old)
+		}
+		c.older = pruneDead(c.older, minR)
+	}
+	c.version = fresh
+	m[hk] = c
+	return wasLive
+}
+
+func pruneDead(older []version, bound Epoch) []version {
+	cut := 0
+	for cut < len(older) && older[cut].removed <= bound {
+		cut++
+	}
+	if cut == 0 {
+		return older
+	}
+	rest := older[cut:]
+	if len(rest) == 0 {
+		return nil
+	}
+	return append([]version(nil), rest...)
+}
+
+// Delete removes the edge identified by key at the current epoch
+// (readers of earlier epochs keep seeing it). It reports whether the
+// edge was live.
 func (g *Graph) Delete(key stream.EdgeKey) bool {
-	om, ok := g.out[key.Src]
-	if !ok {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.deleteLocked(key)
+}
+
+func (g *Graph) deleteLocked(key stream.EdgeKey) bool {
+	ohk := mkHalfKey(key.Dst, key.Label)
+	om := g.out[key.Src]
+	c, ok := om[ohk]
+	if !ok || !c.live() {
 		return false
 	}
-	hk := mkHalfKey(key.Dst, key.Label)
-	if _, ok := om[hk]; !ok {
-		return false
+	keep := g.minReaderLocked() < g.epoch
+	if keep {
+		g.pending = append(g.pending, gcEntry{key: key, removed: g.epoch})
 	}
-	delete(om, hk)
-	if len(om) == 0 {
-		delete(g.out, key.Src)
-	}
-	im := g.in[key.Dst]
-	delete(im, mkHalfKey(key.Src, key.Label))
-	if len(im) == 0 {
-		delete(g.in, key.Dst)
-	}
+	removeSide(g.out, key.Src, ohk, g.epoch, keep)
+	removeSide(g.in, key.Dst, mkHalfKey(key.Src, key.Label), g.epoch, keep)
 	g.numEdges--
 	return true
 }
 
-// TS returns the timestamp of the edge and whether it exists.
+// removeSide tombstones (keep) or erases (!keep) the live version of
+// one adjacency side. When the tombstone need not be kept, every older
+// version is unobservable too (their removal epochs are even earlier),
+// so the whole cell goes.
+func removeSide(side map[stream.VertexID]map[halfKey]cell, v stream.VertexID, hk halfKey, at Epoch, keep bool) {
+	m := side[v]
+	c := m[hk]
+	if !keep {
+		delete(m, hk)
+		if len(m) == 0 {
+			delete(side, v)
+		}
+		return
+	}
+	c.removed = at
+	m[hk] = c
+}
+
+// TS returns the timestamp of the edge live at the current epoch and
+// whether it exists.
 func (g *Graph) TS(key stream.EdgeKey) (int64, bool) {
-	om, ok := g.out[key.Src]
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.tsLocked(key, g.epoch)
+}
+
+// TSAt returns the timestamp of the edge visible at epoch e.
+func (g *Graph) TSAt(e Epoch, key stream.EdgeKey) (int64, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.tsLocked(key, e)
+}
+
+func (g *Graph) tsLocked(key stream.EdgeKey, e Epoch) (int64, bool) {
+	c, ok := g.out[key.Src][mkHalfKey(key.Dst, key.Label)]
 	if !ok {
 		return 0, false
 	}
-	ts, ok := om[mkHalfKey(key.Dst, key.Label)]
-	return ts, ok
+	v, ok := c.at(e)
+	return v.ts, ok
 }
 
-// Has reports whether the edge exists.
+// Has reports whether the edge is live at the current epoch.
 func (g *Graph) Has(key stream.EdgeKey) bool {
 	_, ok := g.TS(key)
 	return ok
 }
 
-// Out calls f for every out-edge of src. Returning false stops the
-// iteration early.
+// Out calls f for every out-edge of src live at the current epoch.
+// Returning false stops the iteration early.
 func (g *Graph) Out(src stream.VertexID, f func(dst stream.VertexID, label stream.LabelID, ts int64) bool) {
-	for k, ts := range g.out[src] {
-		if !f(k.vertex(), k.label(), ts) {
-			return
-		}
-	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	iterSide(g.out[src], g.epoch, f)
 }
 
-// In calls f for every in-edge of dst. Returning false stops the
-// iteration early.
+// OutAt calls f for every out-edge of src visible at epoch e.
+func (g *Graph) OutAt(e Epoch, src stream.VertexID, f func(dst stream.VertexID, label stream.LabelID, ts int64) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	iterSide(g.out[src], e, f)
+}
+
+// In calls f for every in-edge of dst live at the current epoch.
+// Returning false stops the iteration early.
 func (g *Graph) In(dst stream.VertexID, f func(src stream.VertexID, label stream.LabelID, ts int64) bool) {
-	for k, ts := range g.in[dst] {
-		if !f(k.vertex(), k.label(), ts) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	iterSide(g.in[dst], g.epoch, f)
+}
+
+// InAt calls f for every in-edge of dst visible at epoch e.
+func (g *Graph) InAt(e Epoch, dst stream.VertexID, f func(src stream.VertexID, label stream.LabelID, ts int64) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	iterSide(g.in[dst], e, f)
+}
+
+func iterSide(m map[halfKey]cell, e Epoch, f func(v stream.VertexID, l stream.LabelID, ts int64) bool) {
+	for k, c := range m {
+		v, ok := c.at(e)
+		if !ok {
+			continue
+		}
+		if !f(k.vertex(), k.label(), v.ts) {
 			return
 		}
 	}
 }
 
-// Edges calls f for every edge in the graph. Returning false stops the
+// Edges calls f for every edge live at the current epoch — the flat
+// fold of the version intervals that checkpoint serialization records
+// (the on-disk format stays epoch-free). Returning false stops the
 // iteration early.
 func (g *Graph) Edges(f func(e Edge) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	for src, om := range g.out {
-		for k, ts := range om {
-			if !f(Edge{Src: src, Dst: k.vertex(), Label: k.label(), TS: ts}) {
+		for k, c := range om {
+			v, ok := c.at(g.epoch)
+			if !ok {
+				continue
+			}
+			if !f(Edge{Src: src, Dst: k.vertex(), Label: k.label(), TS: v.ts}) {
 				return
 			}
 		}
 	}
 }
 
-// Vertices calls f for every vertex incident to at least one edge.
+// Vertices calls f for every vertex incident to at least one edge live
+// at the current epoch.
 func (g *Graph) Vertices(f func(v stream.VertexID) bool) {
-	for v := range g.out {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for v, m := range g.out {
+		if !sideHasLive(m) {
+			continue
+		}
 		if !f(v) {
 			return
 		}
 	}
-	for v := range g.in {
-		if _, ok := g.out[v]; ok {
+	for v, m := range g.in {
+		if om, ok := g.out[v]; ok && sideHasLive(om) {
+			continue
+		}
+		if !sideHasLive(m) {
 			continue
 		}
 		if !f(v) {
@@ -192,10 +528,13 @@ func (g *Graph) Vertices(f func(v stream.VertexID) bool) {
 	}
 }
 
-// Expire removes every edge whose timestamp is ≤ deadline and calls
-// onRemove (if non-nil) for each removed edge. Amortized O(1) per
-// insertion thanks to the FIFO invariant.
+// Expire removes every edge whose timestamp is ≤ deadline at the
+// current epoch and calls onRemove (if non-nil) for each removed edge.
+// Amortized O(1) per insertion thanks to the FIFO invariant; readers of
+// earlier epochs keep seeing the expired edges until they release.
 func (g *Graph) Expire(deadline int64, onRemove func(e Edge)) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	removed := 0
 	for g.head < len(g.fifo) {
 		ent := g.fifo[g.head]
@@ -203,12 +542,12 @@ func (g *Graph) Expire(deadline int64, onRemove func(e Edge)) int {
 			break
 		}
 		g.head++
-		cur, ok := g.TS(ent.key)
+		cur, ok := g.tsLocked(ent.key, g.epoch)
 		if !ok || cur != ent.ts {
 			continue // deleted or refreshed since this record was queued
 		}
 		if cur <= deadline {
-			g.Delete(ent.key)
+			g.deleteLocked(ent.key)
 			if onRemove != nil {
 				onRemove(Edge{Src: ent.key.Src, Dst: ent.key.Dst, Label: ent.key.Label, TS: cur})
 			}
@@ -223,8 +562,36 @@ func (g *Graph) Expire(deadline int64, onRemove func(e Edge)) int {
 	return removed
 }
 
-// Clone returns a deep copy of the graph (used by the batch oracle in
-// tests). The FIFO is not cloned; a cloned graph is a static snapshot.
+// DeadVersions returns the number of retained versions that are not
+// live at the current epoch — superseded or tombstoned versions kept
+// only for active readers. It is 0 once every reader has released and
+// the GC has run (the compaction invariant the epoch-GC tests assert).
+func (g *Graph) DeadVersions() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, m := range g.out {
+		for _, c := range m {
+			if !c.live() {
+				n++
+			}
+			n += len(c.older)
+		}
+	}
+	return n
+}
+
+// ActiveReaders returns the number of distinct epochs with registered
+// readers (diagnostics).
+func (g *Graph) ActiveReaders() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.readers)
+}
+
+// Clone returns a deep copy of the graph's content at the current epoch
+// (used by the batch oracle in tests). Version history and the FIFO are
+// not cloned; a cloned graph is a static snapshot.
 func (g *Graph) Clone() *Graph {
 	c := New()
 	g.Edges(func(e Edge) bool {

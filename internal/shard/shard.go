@@ -8,22 +8,20 @@
 // slow shard exerts backpressure on the coordinator instead of
 // queueing unboundedly. The window content G_{W,τ} is query
 // independent, so the snapshot graph and the window clock are owned by
-// the coordinator and advance once per sub-batch; during a fan-out the
-// graph is strictly read-only and every shard updates its own indexes
-// concurrently.
+// the coordinator; every shard updates its own indexes concurrently.
 //
 // # Batching and sub-batch hazards
 //
-// ProcessBatch applies a whole batch of graph mutations before waking
-// the shards, which amortizes coordination to one channel round-trip
-// per sub-batch instead of per tuple. Because the graph then runs
-// ahead of the tuple a shard is currently applying, the core engines
-// ignore edges with ts beyond their stream clock (see the horizon
-// filters in core's insert/expiry traversals); with that filter a
-// shard processing tuple i observes exactly the sequential prefix
-// G_{W,τi}. Three events would still let the graph diverge from the
-// sequential prefix, so they cut a batch into sub-batches and are only
-// ever applied as the first step of one:
+// ProcessBatch applies a whole sub-batch of graph mutations before
+// waking the shards, which amortizes coordination to one channel
+// round-trip per sub-batch instead of per tuple. Because the graph
+// then runs ahead of the tuple a shard is currently applying, the core
+// engines ignore edges with ts beyond their stream clock (see the
+// horizon filters in core's insert/expiry traversals); with that
+// filter a shard processing tuple i observes exactly the sequential
+// prefix G_{W,τi}. Three events would let the graph diverge from the
+// sequential prefix inside one sub-batch, so they cut a batch into
+// sub-batches and are only ever applied as the first step of one:
 //
 //   - a slide-boundary crossing (expiry physically removes edges that
 //     earlier tuples of the batch may still need),
@@ -33,23 +31,49 @@
 //   - a re-insertion that refreshes an existing edge's timestamp
 //     (earlier tuples must observe the pre-refresh timestamp).
 //
+// # Pipelined sub-batches
+//
+// The snapshot graph is epoch-versioned (internal/graph): each
+// sub-batch's mutations are applied at a fresh epoch, and the shards
+// traverse the graph at the epoch their sub-batch was cut against.
+// Because readers of epoch k cannot observe epoch-k+1 removals,
+// refreshes or inserts, the coordinator no longer has to barrier on a
+// hazard: it advances epoch k+1 — expiry, deletion, re-insertion
+// included — while the shards are still fanning out epoch k. The
+// pipeline is bounded (WithPipelineDepth, default 2 sub-batches in
+// flight); the full barrier survives only at batch boundaries, which
+// therefore remain the engine's globally consistent points — exactly
+// where internal/persist takes its checkpoints, and the checkpoint
+// serialization folds the version intervals back into a flat,
+// epoch-free graph. Depth 1 reproduces the fully barriered engine:
+// every sub-batch is collected immediately after dispatch, before the
+// next sub-batch's mutations are applied.
+//
 // Under this discipline the sharded engine produces, per query, the
-// result stream of the sequential core.Multi coordinator. On
-// append-only streams (window expiry included) the agreement is exact:
-// identical match multisets with identical Match.TS values, and two
-// runs over the same stream yield byte-identical merged result
-// sequences (only the attribution of a match to a tuple inside one
-// timestamp tie-group can shift, deterministically). With explicit
-// deletions, the *pair* sets still agree exactly, but the multiplicity
-// of re-discovery matches and the invalidation report depend on the
-// incidental spanning-tree shape — which parent a node happens to hang
-// off among equal-timestamp alternatives — because the paper's
-// Algorithm Delete cuts subtrees along tree edges (Definition 13).
-// That shape is map-iteration dependent in the sequential engines too;
-// it is inherent to the algorithm, not an artifact of sharding.
-// Merged results are returned in a canonical order (tuple index, query
-// registration index, matches before invalidations, then
-// (From, To, TS)).
+// result stream of the sequential core.Multi coordinator, at any
+// pipeline depth. On append-only streams (window expiry included) the
+// agreement is exact: identical match multisets with identical
+// Match.TS values, and two runs over the same stream yield
+// byte-identical merged result sequences (only the attribution of a
+// match to a tuple inside one timestamp tie-group can shift,
+// deterministically). With explicit deletions, the *pair* sets still
+// agree exactly, but the multiplicity of re-discovery matches and the
+// invalidation report depend on the incidental spanning-tree shape —
+// which parent a node happens to hang off among equal-timestamp
+// alternatives — because the paper's Algorithm Delete cuts subtrees
+// along tree edges (Definition 13). That shape is map-iteration
+// dependent in the sequential engines too; it is inherent to the
+// algorithm, not an artifact of sharding. Merged results are returned
+// in a canonical order (tuple index, query registration index, matches
+// before invalidations, then (From, To, TS)).
+//
+// # Errors
+//
+// The engine never panics mid-pipeline: a panic in a member engine on
+// a shard goroutine is recovered into a sticky error that poisons the
+// engine — the current ProcessBatch (and every later one) fails with
+// it, and Close reports it again. Process, whose core.Engine signature
+// has no error, records failures in the same sticky error (see Err).
 package shard
 
 import (
@@ -77,6 +101,7 @@ type Result struct {
 type config struct {
 	shards int
 	queue  int
+	depth  int
 }
 
 // Option configures an Engine.
@@ -88,8 +113,20 @@ func WithShards(n int) Option { return func(c *config) { c.shards = n } }
 
 // WithQueueDepth bounds each shard's job channel (default 2). The
 // coordinator blocks when a shard's queue is full: backpressure, not
-// unbounded buffering.
+// unbounded buffering. The effective capacity is at least the pipeline
+// depth.
 func WithQueueDepth(n int) Option { return func(c *config) { c.queue = n } }
+
+// WithPipelineDepth bounds how many sub-batches may be in flight —
+// dispatched to the shards but not yet collected — at once (default 2;
+// n <= 0 is an error). Depth 1 reproduces the fully barriered
+// coordinator exactly: the graph and window advance only after every
+// shard has finished the previous sub-batch. Depth ≥ 2 lets the
+// coordinator apply epoch k+1's graph mutations (expiry, deletions,
+// re-insertions included) while the shards still traverse epoch k; the
+// epoch-versioned graph keeps each in-flight sub-batch's snapshot
+// intact. Batch boundaries always drain the pipeline.
+func WithPipelineDepth(n int) Option { return func(c *config) { c.depth = n } }
 
 // Engine is the sharded multi-query coordinator. It is driven by a
 // single goroutine (like every engine in this module): internal
@@ -99,6 +136,7 @@ type Engine struct {
 	spec    window.Spec
 	g       *graph.Graph
 	win     *window.Manager
+	depth   int
 	workers []*worker
 	members []*member
 	// relevant[l] reports whether label l is in any member's alphabet;
@@ -110,11 +148,19 @@ type Engine struct {
 	dropped int64
 	started bool
 	closed  bool
+	err     error // sticky: first internal failure; engine is poisoned
 
-	wg      sync.WaitGroup
-	steps   []step
-	tagged  []Result
-	results []Result
+	wg       sync.WaitGroup
+	inflight []inflightSub // dispatched, uncollected sub-batches (≤ depth)
+	stepPool [][]step      // recycled step slices of collected sub-batches
+	tagged   []Result
+	results  []Result
+}
+
+// inflightSub is one dispatched sub-batch awaiting collection.
+type inflightSub struct {
+	epoch graph.Epoch
+	steps []step
 }
 
 // member is one registered query.
@@ -134,9 +180,17 @@ type step struct {
 	skip     bool  // no member work (irrelevant label or no-op delete)
 }
 
-// job is one sub-batch dispatched to a shard.
+// job is one sub-batch dispatched to a shard, tagged with the graph
+// epoch its steps were cut against.
 type job struct {
 	steps []step
+	epoch graph.Epoch
+}
+
+// reply is a shard's response to one job.
+type reply struct {
+	results []Result
+	err     error
 }
 
 // worker owns the queries of one shard and applies every sub-batch to
@@ -145,7 +199,7 @@ type worker struct {
 	id      int
 	members []*member
 	in      chan job
-	reply   chan []Result
+	out     chan reply
 
 	buf      []Result
 	curTuple int
@@ -169,7 +223,7 @@ func New(spec window.Spec, opts ...Option) (*Engine, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	cfg := config{shards: 1, queue: 2}
+	cfg := config{shards: 1, queue: 2, depth: 2}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -179,17 +233,25 @@ func New(spec window.Spec, opts ...Option) (*Engine, error) {
 	if cfg.queue <= 0 {
 		return nil, fmt.Errorf("shard: queue depth must be positive, got %d", cfg.queue)
 	}
+	if cfg.depth <= 0 {
+		return nil, fmt.Errorf("shard: pipeline depth must be positive, got %d", cfg.depth)
+	}
 	s := &Engine{
 		spec:    spec,
 		g:       graph.New(),
 		win:     window.NewManager(spec),
+		depth:   cfg.depth,
 		workers: make([]*worker, cfg.shards),
 	}
+	queue := max(cfg.queue, cfg.depth)
 	for i := range s.workers {
 		s.workers[i] = &worker{
-			id:    i,
-			in:    make(chan job, cfg.queue),
-			reply: make(chan []Result, 1),
+			id: i,
+			in: make(chan job, queue),
+			// Replies for every in-flight sub-batch must fit without
+			// blocking the shard, or a fast shard would stall behind the
+			// coordinator's lazy collection.
+			out: make(chan reply, cfg.depth),
 		}
 	}
 	return s, nil
@@ -198,11 +260,19 @@ func New(spec window.Spec, opts ...Option) (*Engine, error) {
 // NumShards returns the number of worker shards.
 func (s *Engine) NumShards() int { return len(s.workers) }
 
+// PipelineDepth returns the configured bound on in-flight sub-batches.
+func (s *Engine) PipelineDepth() int { return s.depth }
+
 // Len returns the number of registered queries.
 func (s *Engine) Len() int { return len(s.members) }
 
 // Graph exposes the shared snapshot graph (read-only use).
 func (s *Engine) Graph() *graph.Graph { return s.g }
+
+// Err returns the sticky engine error, if any: the first internal
+// failure (e.g. a recovered member-engine panic on a shard goroutine)
+// that poisoned the engine. ProcessBatch and Close surface it too.
+func (s *Engine) Err() error { return s.err }
 
 // Add registers one RAPQ query and returns its engine (for Stats
 // probes). Queries must be added before the first batch; sink may be
@@ -285,44 +355,62 @@ func (s *Engine) start() {
 // queries in stream order, then hand the tagged results back.
 func (w *worker) run() {
 	for jb := range w.in {
-		w.buf = nil
-		for _, st := range jb.steps {
-			if st.expire {
-				w.curTuple = st.index
-				for _, mb := range w.members {
-					w.curQuery = mb.index
-					mb.engine.ApplyExpiry(st.deadline)
-				}
-			}
-			if st.skip {
-				continue
-			}
+		w.out <- w.apply(jb)
+	}
+}
+
+// apply processes one job. A panic in a member engine is recovered
+// into the reply — the coordinator turns it into the sticky engine
+// error — so a fault cannot take the whole process down mid-pipeline.
+func (w *worker) apply(jb job) (rep reply) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep = reply{err: fmt.Errorf("shard %d: member engine panic: %v", w.id, r)}
+		}
+	}()
+	w.buf = nil
+	// Hand every member the epoch this sub-batch was cut against; the
+	// coordinator may already be mutating the graph at later epochs.
+	for _, mb := range w.members {
+		mb.engine.SetReadEpoch(jb.epoch)
+	}
+	for _, st := range jb.steps {
+		if st.expire {
 			w.curTuple = st.index
 			for _, mb := range w.members {
-				if !mb.engine.RelevantLabel(st.tuple.Label) {
-					continue
-				}
 				w.curQuery = mb.index
-				if st.del {
-					mb.engine.ApplyDelete(st.tuple)
-				} else {
-					mb.engine.ApplyInsert(st.tuple)
-				}
+				mb.engine.ApplyExpiry(st.deadline)
 			}
 		}
-		w.reply <- w.buf
+		if st.skip {
+			continue
+		}
+		w.curTuple = st.index
+		for _, mb := range w.members {
+			if !mb.engine.RelevantLabel(st.tuple.Label) {
+				continue
+			}
+			w.curQuery = mb.index
+			if st.del {
+				mb.engine.ApplyDelete(st.tuple)
+			} else {
+				mb.engine.ApplyInsert(st.tuple)
+			}
+		}
 	}
+	return reply{results: w.buf}
 }
 
 // Process implements core.Engine for drop-in use in single-tuple
 // harnesses: a batch of one. Results flow to the member sinks. The
-// Engine interface has no error channel, so conditions ProcessBatch
-// would report — an out-of-order tuple or a closed engine — panic
-// here rather than silently dropping the tuple; callers that need
-// error handling use ProcessBatch.
+// Engine interface has no error return, so conditions ProcessBatch
+// would report — an out-of-order tuple, a closed engine, a shard
+// fault — are recorded as the sticky engine error instead of
+// panicking mid-pipeline; check Err (or the error of a later
+// ProcessBatch/Close call).
 func (s *Engine) Process(t stream.Tuple) {
-	if _, err := s.ProcessBatch([]stream.Tuple{t}); err != nil {
-		panic(err)
+	if _, err := s.ProcessBatch([]stream.Tuple{t}); err != nil && s.err == nil {
+		s.err = err
 	}
 }
 
@@ -330,9 +418,14 @@ func (s *Engine) Process(t stream.Tuple) {
 // continuing from previous batches) and returns the merged results in
 // canonical order. The returned slice is reused by the next call.
 // Results are also delivered to the member sinks, in the same order.
+// The pipeline is fully drained before returning: batch boundaries are
+// the engine's globally consistent points.
 func (s *Engine) ProcessBatch(tuples []stream.Tuple) ([]Result, error) {
 	if s.closed {
 		return nil, fmt.Errorf("shard: ProcessBatch on closed engine")
+	}
+	if s.err != nil {
+		return nil, s.err
 	}
 	last := s.now
 	for _, t := range tuples {
@@ -346,20 +439,37 @@ func (s *Engine) ProcessBatch(tuples []stream.Tuple) ([]Result, error) {
 	for i := 0; i < len(tuples); {
 		i = s.subBatch(tuples, i)
 	}
+	s.drain()
+	if s.err != nil {
+		return nil, s.err
+	}
 	s.merge()
 	return s.results, nil
+}
+
+// getSteps returns a recycled step slice (empty, capacity preserved).
+// Step slices cannot be reused while a sub-batch referencing them is in
+// flight, so they cycle through the pool on collection.
+func (s *Engine) getSteps() []step {
+	if n := len(s.stepPool); n > 0 {
+		st := s.stepPool[n-1]
+		s.stepPool = s.stepPool[:n-1]
+		return st[:0]
+	}
+	return nil
 }
 
 // subBatch builds, applies and dispatches one sub-batch starting at
 // tuple index i, returning the index of the first tuple of the next
 // sub-batch. All shared-state mutations (graph, window clock) happen
-// here, before any shard sees the steps.
+// here, at a fresh epoch, before any shard sees the steps.
 func (s *Engine) subBatch(tuples []stream.Tuple, i int) int {
 	if tuples[i].Op == stream.Delete {
 		s.deleteStep(tuples[i], i)
 		return i + 1
 	}
-	steps := s.steps[:0]
+	epoch := s.g.AdvanceEpoch()
+	steps := s.getSteps()
 	j := i
 	for ; j < len(tuples); j++ {
 		t := tuples[j]
@@ -375,9 +485,9 @@ func (s *Engine) subBatch(tuples []stream.Tuple, i int) int {
 			s.now = t.TS
 		}
 		st := step{tuple: t, index: j}
-		if deadline, due := s.win.Observe(t.TS); due {
-			s.g.Expire(deadline, nil)
-			st.expire, st.deadline = true, deadline
+		if ex, due := s.win.ObserveAt(t.TS, uint64(epoch)); due {
+			s.g.Expire(ex.Deadline, nil)
+			st.expire, st.deadline = true, ex.Deadline
 		}
 		if rel {
 			s.g.Insert(t.Src, t.Dst, t.Label, t.TS)
@@ -390,8 +500,7 @@ func (s *Engine) subBatch(tuples []stream.Tuple, i int) int {
 		}
 		steps = append(steps, st)
 	}
-	s.steps = steps[:0]
-	s.dispatch(steps)
+	s.dispatch(steps, epoch)
 	return j
 }
 
@@ -399,14 +508,19 @@ func (s *Engine) subBatch(tuples []stream.Tuple, i int) int {
 // members must run a due expiry pass against the graph as it was
 // before the deletion (sequential engines expire before deleting), and
 // must process the deletion before any later insert becomes visible.
+// The expiry and the deletion are separate epochs, so in-flight
+// sub-batches observe neither.
 func (s *Engine) deleteStep(t stream.Tuple, index int) {
 	s.seen++
 	if t.TS > s.now {
 		s.now = t.TS
 	}
-	if deadline, due := s.win.Observe(t.TS); due {
-		s.g.Expire(deadline, nil)
-		s.dispatch([]step{{index: index, deadline: deadline, expire: true, skip: true}})
+	epoch := s.g.AdvanceEpoch()
+	if ex, due := s.win.ObserveAt(t.TS, uint64(epoch)); due {
+		s.g.Expire(ex.Deadline, nil)
+		steps := append(s.getSteps(), step{index: index, deadline: ex.Deadline, expire: true, skip: true})
+		s.dispatch(steps, epoch)
+		epoch = s.g.AdvanceEpoch()
 	}
 	if !s.relevantLabel(t.Label) {
 		s.dropped++
@@ -415,23 +529,59 @@ func (s *Engine) deleteStep(t stream.Tuple, index int) {
 	if !s.g.Delete(t.Key()) {
 		return // deleting an absent edge is a no-op
 	}
-	s.dispatch([]step{{tuple: t, index: index, del: true}})
+	steps := append(s.getSteps(), step{tuple: t, index: index, del: true})
+	s.dispatch(steps, epoch)
 }
 
-// dispatch fans one sub-batch out to every shard and collects the
-// tagged results (a full barrier). The bounded in-channels provide
-// backpressure if a future scheduler overlaps dispatch with result
-// collection.
-func (s *Engine) dispatch(steps []step) {
+// dispatch fans one sub-batch out to every shard and registers it as
+// in flight. Collection is lazy: older sub-batches are collected only
+// when the pipeline is full (so at depth 1 this is a full barrier, and
+// at depth n the coordinator runs up to n-1 sub-batches ahead of the
+// slowest shard). The bounded in-channels provide backpressure.
+func (s *Engine) dispatch(steps []step, epoch graph.Epoch) {
 	if len(steps) == 0 {
+		s.stepPool = append(s.stepPool, steps)
 		return
 	}
-	jb := job{steps: steps}
+	// The shards traverse the graph at this sub-batch's epoch until
+	// collected; register the reader before the first shard could start.
+	s.g.AcquireEpoch(epoch)
+	jb := job{steps: steps, epoch: epoch}
 	for _, w := range s.workers {
 		w.in <- jb
 	}
+	s.inflight = append(s.inflight, inflightSub{epoch: epoch, steps: steps})
+	for len(s.inflight) >= s.depth {
+		s.collectOldest()
+	}
+}
+
+// collectOldest gathers every shard's reply for the oldest in-flight
+// sub-batch, retires its reader epoch (which lets the graph compact
+// versions only that sub-batch could see) and recycles its steps.
+func (s *Engine) collectOldest() {
+	sub := s.inflight[0]
+	s.inflight = s.inflight[1:]
 	for _, w := range s.workers {
-		s.tagged = append(s.tagged, <-w.reply...)
+		rep := <-w.out
+		if rep.err != nil {
+			if s.err == nil {
+				s.err = rep.err
+			}
+			continue
+		}
+		s.tagged = append(s.tagged, rep.results...)
+	}
+	s.g.ReleaseEpoch(sub.epoch)
+	if sub.steps != nil {
+		s.stepPool = append(s.stepPool, sub.steps)
+	}
+}
+
+// drain collects every in-flight sub-batch: the batch-boundary barrier.
+func (s *Engine) drain() {
+	for len(s.inflight) > 0 {
+		s.collectOldest()
 	}
 }
 
@@ -514,11 +664,12 @@ func (s *Engine) ShardStats() []core.Stats {
 // SnapshotState captures the engine's full state — shared graph, window
 // clock, and every member's Δ index in registration order — for a
 // checkpoint. It must be called between ProcessBatch calls: batch
-// boundaries are sub-batch barriers (every dispatched sub-batch has
-// been applied and collected), the only globally consistent points of
-// the sharded engine. The state shape is identical to the sequential
-// coordinator's, so a snapshot taken at shard count n can be restored
-// at any shard count (queries re-partition round-robin on restore).
+// boundaries drain the pipeline, so they are the only globally
+// consistent points of the sharded engine. The serialized graph is the
+// flat fold of the version intervals at the current epoch (see
+// core.SnapshotEdges); the state is epoch-free, so a snapshot taken at
+// any shard count and pipeline depth can be restored at any other
+// (queries re-partition round-robin on restore).
 func (s *Engine) SnapshotState() *core.MultiState {
 	st := &core.MultiState{
 		Now:     s.now,
@@ -535,7 +686,8 @@ func (s *Engine) SnapshotState() *core.MultiState {
 
 // RestoreState rebuilds the engine from a checkpoint. All queries must
 // already be registered (same number, same order as at snapshot time)
-// and no batch processed yet.
+// and no batch processed yet. The restored graph starts at epoch 0
+// regardless of where the snapshotting engine's epoch counter stood.
 func (s *Engine) RestoreState(st *core.MultiState) error {
 	if s.closed {
 		return fmt.Errorf("shard: RestoreState on closed engine")
@@ -562,19 +714,22 @@ func (s *Engine) RestoreState(st *core.MultiState) error {
 	return nil
 }
 
-// Close stops the shard goroutines and waits for them to drain. The
-// engine cannot be used afterwards. Close is idempotent.
-func (s *Engine) Close() {
+// Close stops the shard goroutines and waits for them to drain, then
+// reports the sticky engine error, if any. The engine cannot be used
+// afterwards. Close is idempotent.
+func (s *Engine) Close() error {
 	if s.closed {
-		return
+		return s.err
 	}
 	s.closed = true
 	if s.started {
+		s.drain() // defensive: ProcessBatch drains on every exit path
 		for _, w := range s.workers {
 			close(w.in)
 		}
 		s.wg.Wait()
 	}
+	return s.err
 }
 
 var _ core.Engine = (*Engine)(nil)

@@ -1,0 +1,39 @@
+package window
+
+import "testing"
+
+// TestObserveAtStampsEpoch: ObserveAt commits exactly the boundaries
+// Observe would and stamps each with the retiring epoch.
+func TestObserveAtStampsEpoch(t *testing.T) {
+	m := NewManager(Spec{Size: 10, Slide: 5})
+	ref := NewManager(Spec{Size: 10, Slide: 5})
+
+	stream := []struct {
+		ts    int64
+		epoch uint64
+	}{{1, 1}, {4, 2}, {5, 3}, {9, 4}, {12, 5}, {12, 6}, {20, 7}}
+
+	for _, s := range stream {
+		wantDeadline, wantDue := ref.Observe(s.ts)
+		ex, due := m.ObserveAt(s.ts, s.epoch)
+		if due != wantDue {
+			t.Fatalf("ts %d: due=%v, want %v", s.ts, due, wantDue)
+		}
+		if !due {
+			continue
+		}
+		if ex.Deadline != wantDeadline {
+			t.Fatalf("ts %d: deadline %d, want %d", s.ts, ex.Deadline, wantDeadline)
+		}
+		if ex.Epoch != s.epoch {
+			t.Fatalf("ts %d: expiry stamped with epoch %d, want %d", s.ts, ex.Epoch, s.epoch)
+		}
+		if m.LastExpiry() != ex {
+			t.Fatalf("LastExpiry %+v != returned %+v", m.LastExpiry(), ex)
+		}
+	}
+	// Boundaries committed identically.
+	if m.Boundary() != ref.Boundary() {
+		t.Fatalf("boundary %d != reference %d", m.Boundary(), ref.Boundary())
+	}
+}

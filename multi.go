@@ -26,6 +26,7 @@ type MultiEvaluator struct {
 	spec     window.Spec
 	multi    *core.Multi   // sequential backend (default)
 	sharded  *shard.Engine // concurrent backend (after WithShards)
+	depth    int           // pipeline depth for the sharded backend (0 = engine default)
 	queries  []*multiMember
 	persist  *persistState // nil unless WithPersistence/Recover was used
 	lastTS   int64
@@ -127,7 +128,11 @@ func (m *MultiEvaluator) WithShards(n int) error {
 	if m.persist != nil {
 		return fmt.Errorf("streamrpq: WithShards after WithPersistence (choose the shard count first: it is recorded in the checkpoint metadata)")
 	}
-	eng, err := shard.New(m.spec, shard.WithShards(n))
+	opts := []shard.Option{shard.WithShards(n)}
+	if m.depth > 0 {
+		opts = append(opts, shard.WithPipelineDepth(m.depth))
+	}
+	eng, err := shard.New(m.spec, opts...)
 	if err != nil {
 		return err
 	}
@@ -145,6 +150,41 @@ func (m *MultiEvaluator) WithShards(n int) error {
 	return nil
 }
 
+// WithPipelineDepth bounds how many sub-batches the sharded backend
+// may run ahead of its slowest shard (see shard.WithPipelineDepth;
+// engine default 2). Depth 1 selects the fully barriered coordinator —
+// graph and window advance only between sub-batch fan-outs — and
+// reproduces its results exactly; depth ≥ 2 overlaps epoch k+1's
+// graph mutations with epoch k's fan-out on the epoch-versioned
+// snapshot graph. Call before the first tuple, in any order with
+// WithShards; without WithShards the sequential backend ignores it.
+func (m *MultiEvaluator) WithPipelineDepth(n int) error {
+	if m.started {
+		return fmt.Errorf("streamrpq: WithPipelineDepth after processing started")
+	}
+	if m.persist != nil {
+		return fmt.Errorf("streamrpq: WithPipelineDepth after WithPersistence (configure the engine before enabling durability)")
+	}
+	if n <= 0 {
+		return fmt.Errorf("streamrpq: pipeline depth must be positive, got %d", n)
+	}
+	m.depth = n
+	if m.sharded != nil {
+		// Rebuild the sharded backend with the new depth.
+		return m.WithShards(m.sharded.NumShards())
+	}
+	return nil
+}
+
+// PipelineDepth returns the sharded backend's pipeline depth (0 while
+// the sequential backend is active).
+func (m *MultiEvaluator) PipelineDepth() int {
+	if m.sharded == nil {
+		return 0
+	}
+	return m.sharded.PipelineDepth()
+}
+
 // NumQueries returns the number of registered queries.
 func (m *MultiEvaluator) NumQueries() int { return len(m.queries) }
 
@@ -157,14 +197,20 @@ func (m *MultiEvaluator) NumShards() int {
 }
 
 // Close releases the shard worker goroutines and closes the
-// persistence WAL (when enabled). It is idempotent.
-func (m *MultiEvaluator) Close() {
+// persistence WAL (when enabled). It reports the sharded backend's
+// sticky error (a recovered shard fault that poisoned the engine), if
+// any, or a WAL-close failure. It is idempotent.
+func (m *MultiEvaluator) Close() error {
+	var err error
 	if m.sharded != nil {
-		m.sharded.Close()
+		err = m.sharded.Close()
 	}
 	if m.persist != nil {
-		m.persist.mgr.Close()
+		if cerr := m.persist.mgr.Close(); err == nil {
+			err = cerr
+		}
 	}
+	return err
 }
 
 func (m *MultiEvaluator) encode(t Tuple) stream.Tuple {

@@ -97,15 +97,27 @@ func flatten(dst []flatResult, batchIdx int, brs []BatchResult, canon bool) []fl
 // order, timestamps included) to an uninterrupted run, for shard counts
 // 1 and 4 and for the sequential backend.
 func TestKillRecoverDifferential(t *testing.T) {
-	for _, shards := range []int{0, 1, 4} { // 0 = sequential backend
-		shards := shards
-		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+	// shards 0 = sequential backend; depth 0 = the sharded engine's
+	// default pipeline depth (2, pipelined). Depth 1 pins the barriered
+	// coordinator, depth 4 a deeper pipeline: checkpoints are taken at
+	// batch boundaries, where the pipeline is drained, so recovery must
+	// be depth-independent.
+	for _, cfg := range []struct{ shards, depth int }{
+		{0, 0}, {1, 0}, {4, 0}, {4, 1}, {4, 4},
+	} {
+		shards, depth := cfg.shards, cfg.depth
+		t.Run(fmt.Sprintf("shards=%d/depth=%d", shards, depth), func(t *testing.T) {
 			batches := persistTestStream(2026, 360, 16)
 			canon := shards == 0
 			build := func() *MultiEvaluator {
 				m, err := NewMultiEvaluator(20, 2, persistTestQueries(t)...)
 				if err != nil {
 					t.Fatal(err)
+				}
+				if depth > 0 {
+					if err := m.WithPipelineDepth(depth); err != nil {
+						t.Fatal(err)
+					}
 				}
 				if shards > 0 {
 					if err := m.WithShards(shards); err != nil {
