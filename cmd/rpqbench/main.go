@@ -8,6 +8,7 @@
 //	rpqbench -exp all
 //	rpqbench -exp multiq -json > BENCH_multiq.json
 //	rpqbench -exp pipeline -shards 1,2,4,8 -pipeline 1,2,4 -json > BENCH_pipeline.json
+//	rpqbench -exp churn -json > BENCH_churn.json
 //
 // -json emits machine-readable results (ns/op, tuples/s, per-shard
 // stats) for experiments with structured drivers, so benchmark

@@ -4,26 +4,38 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 )
 
-// shardStream generates a deletion-free random facade-level stream.
-func shardStream(seed int64, n int) []Tuple {
+// churnStream generates a random facade-level stream; delRatio is the
+// probability that a tuple re-deletes a previously inserted edge.
+func churnStream(seed int64, n int, delRatio float64) []Tuple {
 	rng := rand.New(rand.NewSource(seed))
 	labels := []string{"a", "b"}
-	var out []Tuple
+	var out, inserted []Tuple
 	ts := int64(0)
 	for i := 0; i < n; i++ {
 		ts += rng.Int63n(3)
-		out = append(out, Tuple{
+		if len(inserted) > 0 && rng.Float64() < delRatio {
+			old := inserted[rng.Intn(len(inserted))]
+			out = append(out, Tuple{TS: ts, Src: old.Src, Dst: old.Dst, Label: old.Label, Delete: true})
+			continue
+		}
+		tu := Tuple{
 			TS:    ts,
 			Src:   fmt.Sprintf("v%d", rng.Intn(9)),
 			Dst:   fmt.Sprintf("v%d", rng.Intn(9)),
 			Label: labels[rng.Intn(2)],
-		})
+		}
+		out = append(out, tu)
+		inserted = append(inserted, tu)
 	}
 	return out
 }
+
+// shardStream generates a deletion-free random facade-level stream.
+func shardStream(seed int64, n int) []Tuple { return churnStream(seed, n, 0) }
 
 func shardQueries() []*Query {
 	return []*Query{
@@ -57,29 +69,133 @@ func collectMulti(t *testing.T, m *MultiEvaluator, stream []Tuple) map[string]ma
 	return out
 }
 
-// TestMultiEvaluatorShardedAgrees: WithShards must not change the
-// result stream of any registered query (exact multiset, including
-// discovery timestamps, on a deletion-free stream).
-func TestMultiEvaluatorShardedAgrees(t *testing.T) {
-	stream := shardStream(31, 700)
-	seq, err := NewMultiEvaluator(25, 5, shardQueries()...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := collectMulti(t, seq, stream)
+// facadeEntry is one facade-level result keyed by the timestamp of the
+// tuple that produced it — the canonical form for comparing backends
+// whose sub-batching shifts match attribution inside timestamp
+// tie-groups (see the core-level differential for the same treatment).
+type facadeEntry struct {
+	TS    int64 // timestamp of the triggering tuple
+	Query int   // query registration index
+	Inval bool
+	M     Match
+}
 
-	for _, shards := range []int{1, 2, 8} {
-		m, err := NewMultiEvaluator(25, 5, shardQueries()...)
+// rawGroup is one BatchResult with the query pointer replaced by its
+// registration index and the tuple index made batch-global, so streams
+// from different evaluator instances compare with reflect.DeepEqual.
+type rawGroup struct {
+	Tuple         int
+	Query         int
+	Matches       []Match
+	Invalidations []Match
+}
+
+// collectCanon drives a stream through IngestBatch in fixed chunks and
+// returns both the canonicalized (timestamp-keyed, sorted) entry stream
+// and the raw ordered result groups.
+func collectCanon(t *testing.T, m *MultiEvaluator, qidx map[*Query]int, stream []Tuple, chunk int) ([]facadeEntry, []rawGroup) {
+	t.Helper()
+	var canon []facadeEntry
+	var raw []rawGroup
+	for i := 0; i < len(stream); i += chunk {
+		rs, err := m.IngestBatch(stream[i:min(i+chunk, len(stream))])
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := m.WithShards(shards); err != nil {
+		for _, br := range rs {
+			g := rawGroup{Tuple: i + br.Tuple, Query: qidx[br.Query]}
+			g.Matches = append(g.Matches, br.Matches...)
+			g.Invalidations = append(g.Invalidations, br.Invalidations...)
+			raw = append(raw, g)
+			ts := stream[i+br.Tuple].TS
+			for _, match := range br.Matches {
+				canon = append(canon, facadeEntry{TS: ts, Query: g.Query, M: match})
+			}
+			for _, match := range br.Invalidations {
+				canon = append(canon, facadeEntry{TS: ts, Query: g.Query, Inval: true, M: match})
+			}
+		}
+	}
+	sort.Slice(canon, func(i, j int) bool {
+		a, b := &canon[i], &canon[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		if a.Inval != b.Inval {
+			return !a.Inval
+		}
+		if a.M.From != b.M.From {
+			return a.M.From < b.M.From
+		}
+		if a.M.To != b.M.To {
+			return a.M.To < b.M.To
+		}
+		return a.M.TS < b.M.TS
+	})
+	return canon, raw
+}
+
+// TestMultiEvaluatorShardedAgrees: WithShards and WithPipelineDepth
+// must not change the result stream of any registered query — on a
+// stream with explicit deletions the exact multiset of matches AND
+// invalidations (with timestamps, canonically ordered per timestamp
+// tie-group) must equal the sequential backend's, for shards 1/2/8 ×
+// pipeline depths 1/2/4; and the raw ordered batch results must be
+// byte-identical across all sharded configurations.
+func TestMultiEvaluatorShardedAgrees(t *testing.T) {
+	stream := churnStream(31, 700, 0.15)
+	newEval := func() (*MultiEvaluator, map[*Query]int) {
+		qs := shardQueries()
+		qidx := make(map[*Query]int, len(qs))
+		for i, q := range qs {
+			qidx[q] = i
+		}
+		m, err := NewMultiEvaluator(25, 5, qs...)
+		if err != nil {
 			t.Fatal(err)
 		}
-		got := collectMulti(t, m, stream)
-		m.Close()
-		if !reflect.DeepEqual(want, got) {
-			t.Fatalf("shards=%d: result multisets diverge from sequential", shards)
+		return m, qidx
+	}
+	seq, seqIdx := newEval()
+	want, _ := collectCanon(t, seq, seqIdx, stream, 50)
+	if len(want) == 0 {
+		t.Fatal("no results; test is vacuous")
+	}
+	hasInval := false
+	for _, e := range want {
+		if e.Inval {
+			hasInval = true
+			break
+		}
+	}
+	if !hasInval {
+		t.Fatal("no invalidations; deletion coverage is vacuous")
+	}
+
+	var firstRaw []rawGroup
+	for _, shards := range []int{1, 2, 8} {
+		for _, depth := range []int{1, 2, 4} {
+			m, qidx := newEval()
+			if err := m.WithShards(shards); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.WithPipelineDepth(depth); err != nil {
+				t.Fatal(err)
+			}
+			got, raw := collectCanon(t, m, qidx, stream, 50)
+			m.Close()
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("shards=%d depth=%d: result streams diverge from sequential (%d vs %d entries)",
+					shards, depth, len(want), len(got))
+			}
+			if firstRaw == nil {
+				firstRaw = raw
+			} else if !reflect.DeepEqual(firstRaw, raw) {
+				t.Fatalf("shards=%d depth=%d: raw ordered results differ from the shards=1 depth=1 run", shards, depth)
+			}
 		}
 	}
 }

@@ -162,6 +162,23 @@ func WithMaxExtends(n int64) Option { return func(c *config) { c.maxExtends = n 
 // experiment quantifying the index's benefit; never use it otherwise.
 func WithoutInvertedIndex() Option { return func(c *config) { c.scanAllTrees = true } }
 
+// MultiSink fans the result stream out to several sinks in order.
+type MultiSink []Sink
+
+// OnMatch implements Sink.
+func (ms MultiSink) OnMatch(m Match) {
+	for _, s := range ms {
+		s.OnMatch(m)
+	}
+}
+
+// OnInvalidate implements Sink.
+func (ms MultiSink) OnInvalidate(m Match) {
+	for _, s := range ms {
+		s.OnInvalidate(m)
+	}
+}
+
 // discardSink drops everything.
 type discardSink struct{}
 

@@ -7,6 +7,7 @@ package core_test
 import (
 	"math/rand"
 	"reflect"
+	"sort"
 	"sync"
 	"testing"
 
@@ -55,58 +56,160 @@ func randomTuplesX(rng *rand.Rand, n, vertices, labels int, maxStep int64, delRa
 	return out
 }
 
-// TestShardedAgreesWithRAPQ: for shard counts 1, 2 and 8 the sharded
-// engine must produce, per query, the result stream of a standalone
-// sequential RAPQ engine on randomized streams with window expiry —
-// the exact match multiset with timestamps (and the live result set)
-// on append-only streams, and the exact pair set when explicit
-// deletions are present. Re-discovery multiplicity and invalidation
-// reports after a deletion depend on the incidental spanning-tree
-// shape (Algorithm Delete cuts along tree edges), which is
-// map-iteration dependent even sequentially and so not part of the
-// engines' contract.
+// tagSink records a sequential engine's emissions as shard.Result
+// values tagged with the current (tuple, query) position, so the
+// sequential oracle's stream can be compared byte-for-byte against the
+// sharded coordinator's merged output.
+type tagSink struct {
+	tuple, query *int
+	qi           int
+	out          *[]shard.Result
+}
+
+func (s tagSink) OnMatch(m core.Match) {
+	*s.out = append(*s.out, shard.Result{Tuple: *s.tuple, Query: s.qi, Match: m})
+}
+
+func (s tagSink) OnInvalidate(m core.Match) {
+	*s.out = append(*s.out, shard.Result{Tuple: *s.tuple, Query: s.qi, Match: m, Invalidated: true})
+}
+
+// canonResult is a shard.Result with the batch tuple index replaced by
+// the tuple's timestamp. The sharded coordinator applies a whole
+// sub-batch of graph mutations before the members run, so a member
+// processing tuple i already sees later edges bearing the same
+// timestamp and may discover a match a few positions earlier than the
+// tuple-at-a-time sequential engine — attribution inside one timestamp
+// tie-group is the one representation detail the backends do not share.
+// Keying by timestamp instead of tuple index erases exactly that and
+// nothing else: across tie-groups the order must still agree exactly.
+type canonResult struct {
+	TS          int64 // timestamp of the triggering tuple
+	Query       int
+	Invalidated bool
+	Match       core.Match
+}
+
+// canonicalize maps tagged results to timestamp-keyed form and sorts
+// each tie-group into the canonical order (query registration index,
+// matches before invalidations, then (From, To, TS)).
+func canonicalize(rs []shard.Result, tupleTS func(int) int64) []canonResult {
+	out := make([]canonResult, len(rs))
+	for i, r := range rs {
+		out[i] = canonResult{TS: tupleTS(r.Tuple), Query: r.Query, Invalidated: r.Invalidated, Match: r.Match}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		if a.Invalidated != b.Invalidated {
+			return !a.Invalidated
+		}
+		if a.Match.From != b.Match.From {
+			return a.Match.From < b.Match.From
+		}
+		if a.Match.To != b.Match.To {
+			return a.Match.To < b.Match.To
+		}
+		return a.Match.TS < b.Match.TS
+	})
+	return out
+}
+
+// TestShardedAgreesWithRAPQ: for shard counts 1, 2 and 8 crossed with
+// pipeline depths 1, 2 and 4, the sharded engine must produce, per
+// query, byte-identical results to a standalone sequential RAPQ engine
+// on randomized streams with window expiry AND explicit deletions: the
+// exact merged result sequence — matches and invalidations, with
+// timestamps, in canonical order — plus the live result sets. With
+// support-counting deletes the invalidation stream is a pure function
+// of the input stream (no spanning-tree-shape dependence), so deletion
+// streams get the same exact comparison as append-only ones.
 func TestShardedAgreesWithRAPQ(t *testing.T) {
 	exprs := []string{"(a/b)+", "a/b*", "(a|b)+", "a*"}
-	for _, shards := range []int{1, 2, 8} {
-		for _, delRatio := range []float64{0, 0.1} {
-			spec := window.Spec{Size: 25, Slide: 4}
-			var refs, gots []*core.CollectorSink
-			var seqs []*core.RAPQ
-			s, err := shard.New(spec, shard.WithShards(shards))
-			if err != nil {
-				t.Fatal(err)
+	for _, delRatio := range []float64{0, 0.15} {
+		spec := window.Spec{Size: 25, Slide: 4}
+		tuples := randomTuplesX(rand.New(rand.NewSource(404)), 700, 9, 2, 2, delRatio)
+
+		// Sequential oracle: tag every emission with its (tuple, query)
+		// position, then sort into the coordinator's canonical order.
+		var want []shard.Result
+		tupleIdx := 0
+		var refs []*core.CollectorSink
+		var seqs []*core.RAPQ
+		for qi, expr := range exprs {
+			ref := core.NewCollector()
+			refs = append(refs, ref)
+			sink := core.MultiSink{tagSink{tuple: &tupleIdx, qi: qi, out: &want}, ref}
+			seqs = append(seqs, core.NewRAPQ(bindX(t, expr, "a", "b"), spec, core.WithSink(sink)))
+		}
+		for i, tu := range tuples {
+			tupleIdx = i
+			for _, e := range seqs {
+				e.Process(tu)
 			}
-			for _, expr := range exprs {
-				ref, got := core.NewCollector(), core.NewCollector()
-				refs, gots = append(refs, ref), append(gots, got)
-				seqs = append(seqs, core.NewRAPQ(bindX(t, expr, "a", "b"), spec, core.WithSink(ref)))
-				if _, err := s.Add(bindX(t, expr, "a", "b"), got); err != nil {
+		}
+		tupleTS := func(i int) int64 { return tuples[i].TS }
+		wantCanon := canonicalize(want, tupleTS)
+
+		var firstRaw []shard.Result
+		for _, shards := range []int{1, 2, 8} {
+			for _, depth := range []int{1, 2, 4} {
+				s, err := shard.New(spec, shard.WithShards(shards), shard.WithPipelineDepth(depth))
+				if err != nil {
 					t.Fatal(err)
 				}
-			}
-			tuples := randomTuplesX(rand.New(rand.NewSource(404)), 700, 9, 2, 2, delRatio)
-			for _, tu := range tuples {
-				for _, e := range seqs {
-					e.Process(tu)
-				}
-			}
-			for i := 0; i < len(tuples); i += 40 {
-				if _, err := s.ProcessBatch(tuples[i:min(i+40, len(tuples))]); err != nil {
-					t.Fatal(err)
-				}
-			}
-			s.Close()
-			for qi, expr := range exprs {
-				if !reflect.DeepEqual(refs[qi].Pairs(), gots[qi].Pairs()) {
-					t.Fatalf("shards=%d del=%v %q: pair sets differ", shards, delRatio, expr)
-				}
-				if delRatio == 0 {
-					if !sameMatchCounts(refs[qi].Matched, gots[qi].Matched) {
-						t.Fatalf("shards=%d %q: match multisets differ (%d vs %d)",
-							shards, expr, len(refs[qi].Matched), len(gots[qi].Matched))
+				var gots []*core.CollectorSink
+				for _, expr := range exprs {
+					got := core.NewCollector()
+					gots = append(gots, got)
+					if _, err := s.Add(bindX(t, expr, "a", "b"), got); err != nil {
+						t.Fatal(err)
 					}
+				}
+				var have []shard.Result
+				for i := 0; i < len(tuples); i += 40 {
+					rs, err := s.ProcessBatch(tuples[i:min(i+40, len(tuples))])
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, r := range rs {
+						r.Tuple += i // batch-local -> global tuple index
+						have = append(have, r)
+					}
+				}
+				s.Close()
+				haveCanon := canonicalize(have, tupleTS)
+				if !reflect.DeepEqual(wantCanon, haveCanon) {
+					n := min(len(wantCanon), len(haveCanon))
+					diverge := n
+					for i := 0; i < n; i++ {
+						if wantCanon[i] != haveCanon[i] {
+							diverge = i
+							break
+						}
+					}
+					for i := max(0, diverge-3); i < min(n, diverge+5); i++ {
+						t.Logf("[%d] want %+v  have %+v", i, wantCanon[i], haveCanon[i])
+					}
+					t.Fatalf("shards=%d depth=%d del=%v: merged result streams differ from sequential oracle (%d vs %d results, first divergence at %d)",
+						shards, depth, delRatio, len(wantCanon), len(haveCanon), diverge)
+				}
+				// Among sharded configurations the raw merged streams —
+				// tuple attribution included — must be byte-identical.
+				if firstRaw == nil {
+					firstRaw = have
+				} else if !reflect.DeepEqual(firstRaw, have) {
+					t.Fatalf("shards=%d depth=%d del=%v: raw merged stream differs from the shards=1 depth=1 run",
+						shards, depth, delRatio)
+				}
+				for qi, expr := range exprs {
 					if !reflect.DeepEqual(refs[qi].Live, gots[qi].Live) {
-						t.Fatalf("shards=%d %q: live sets differ", shards, expr)
+						t.Fatalf("shards=%d depth=%d del=%v %q: live sets differ", shards, depth, delRatio, expr)
 					}
 				}
 			}

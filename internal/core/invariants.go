@@ -23,6 +23,8 @@ import (
 //     have been refreshed past them in the meantime.
 //  4. Index consistency: per-tree vertex counts and the global
 //     inverted index agree with tree contents.
+//  5. Support counts: per-tree result-support counters equal the number
+//     of final-state nodes per vertex (root excluded), stale or not.
 func (e *RAPQ) CheckInvariants() error {
 	validFrom := e.win.Spec().ValidFrom(e.now)
 	invSeen := map[stream.VertexID]map[stream.VertexID]bool{}
@@ -109,6 +111,15 @@ func (e *RAPQ) CheckInvariants() error {
 				return fmt.Errorf("tree %d: vcount has stale vertex %d", root, v)
 			}
 		}
+		support := map[stream.VertexID]int32{}
+		for _, node := range tx.nodes {
+			if e.a.Final[node.s] && !(node.v == root && node.s == e.a.Start) {
+				support[node.v]++
+			}
+		}
+		if err := checkSupportMaps(root, tx.support, support); err != nil {
+			return err
+		}
 	}
 	// Global inverted index must match union of trees.
 	for v, roots := range invSeen {
@@ -129,9 +140,27 @@ func (e *RAPQ) CheckInvariants() error {
 	return staleErr
 }
 
+// checkSupportMaps compares an engine's maintained result-support
+// counters against a freshly recomputed census for one tree.
+func checkSupportMaps(root stream.VertexID, got, want map[stream.VertexID]int32) error {
+	for v, n := range want {
+		if got[v] != n {
+			return fmt.Errorf("tree %d: support[%d]=%d, actual %d", root, v, got[v], n)
+		}
+	}
+	for v := range got {
+		if want[v] == 0 {
+			return fmt.Errorf("tree %d: support has stale vertex %d", root, v)
+		}
+	}
+	return nil
+}
+
 // CheckInvariants validates the RSPQ tree structures: instance lists,
 // parent/child links, timestamp monotonicity, marking consistency
-// (marked keys have at least one live instance) and index bookkeeping.
+// (marked keys have at least one live instance), index bookkeeping,
+// and the result-support counters (final-state instances per vertex,
+// root instance excluded).
 func (e *RSPQ) CheckInvariants() error {
 	invSeen := map[stream.VertexID]map[stream.VertexID]bool{}
 	for root, tx := range e.trees {
@@ -193,6 +222,17 @@ func (e *RSPQ) CheckInvariants() error {
 				return fmt.Errorf("tree %d: marked key (%d,%d) has no instances",
 					root, key.vertex(), key.state())
 			}
+		}
+		support := map[stream.VertexID]int32{}
+		for _, insts := range tx.inst {
+			for _, n := range insts {
+				if e.a.Final[n.s] && n != tx.root {
+					support[n.v]++
+				}
+			}
+		}
+		if err := checkSupportMaps(root, tx.support, support); err != nil {
+			return err
 		}
 	}
 	for v, roots := range e.inv {

@@ -234,11 +234,20 @@ func (p *ParallelRAPQ) insertConcurrent(tx *tree, parent *treeNode, v stream.Ver
 		w.insertCalls++
 
 		if exists {
+			// Stale witness re-entering the window: see RAPQ.insert.
+			if e.a.Final[op.t] && node.ts <= validFrom && newTS > validFrom &&
+				!tx.preLive[op.v] && !e.isLive(tx, op.v, validFrom) {
+				w.matches = append(w.matches, Match{From: tx.root, To: op.v, TS: e.now})
+			}
 			e.detach(tx, node)
 			node.ts = newTS
 			node.parent = op.parent
 			e.attach(par, key)
 		} else {
+			wasLive := false
+			if e.a.Final[op.t] {
+				wasLive = tx.preLive[op.v] || e.isLive(tx, op.v, validFrom)
+			}
 			node = &treeNode{v: op.v, s: op.t, ts: newTS, parent: op.parent}
 			tx.nodes[key] = node
 			e.attach(par, key)
@@ -247,7 +256,10 @@ func (p *ParallelRAPQ) insertConcurrent(tx *tree, parent *treeNode, v stream.Ver
 				e.inv.add(op.v, tx.root)
 			}
 			if e.a.Final[op.t] {
-				w.matches = append(w.matches, Match{From: tx.root, To: op.v, TS: e.now})
+				tx.support[op.v]++
+				if newTS > validFrom && !wasLive {
+					w.matches = append(w.matches, Match{From: tx.root, To: op.v, TS: e.now})
+				}
 			}
 		}
 
@@ -331,20 +343,26 @@ func (p *ParallelRAPQ) expireTreeConcurrent(tx *tree, deadline int64, w *treeWor
 	for key, node := range tx.nodes {
 		if node.ts <= deadline {
 			candidates = append(candidates, key)
+			// Pre-pass liveness, as in RAPQ.expireTree: suppresses
+			// re-match emissions for pairs this pass cuts and
+			// reconnects. Tree-local state, so safe on a worker.
+			if e.a.Final[node.s] {
+				if _, seen := tx.preLive[node.v]; !seen {
+					if tx.preLive == nil {
+						tx.preLive = make(map[stream.VertexID]bool)
+					}
+					tx.preLive[node.v] = e.isLive(tx, node.v, deadline)
+				}
+			}
 		}
 	}
 	if len(candidates) == 0 {
+		tx.preLive = nil
 		return
 	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
 	for _, key := range candidates {
-		node := tx.nodes[key]
-		e.detach(tx, node)
-		delete(tx.nodes, key)
-		tx.vcount[node.v]--
-		if tx.vcount[node.v] == 0 {
-			delete(tx.vcount, node.v)
-			e.inv.drop(node.v, tx.root)
-		}
+		e.remove(tx, key, tx.nodes[key])
 	}
 	for _, key := range candidates {
 		v, t := key.vertex(), key.state()
@@ -375,6 +393,9 @@ func (p *ParallelRAPQ) expireTreeConcurrent(tx *tree, deadline int64, w *treeWor
 			p.insertConcurrent(tx, bestParent, v, t, bestEdgeTS, deadline, w)
 		}
 	}
+	// Window expiry retracts nothing (implicit window semantics); the
+	// pre-pass liveness map only served match suppression above.
+	tx.preLive = nil
 }
 
 // CheckInvariants delegates to the sequential checker.

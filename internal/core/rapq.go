@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 	"time"
 
 	"streamrpq/internal/automaton"
@@ -37,6 +38,25 @@ type tree struct {
 	root   stream.VertexID
 	nodes  map[nodeKey]*treeNode
 	vcount map[stream.VertexID]int32 // instances per vertex, for the inverted index
+
+	// support counts the final-state witness nodes per result vertex
+	// (the root node is excluded: it only witnesses the empty path).
+	// A result pair (root, v) is live iff one of the counted witnesses
+	// is inside the window; support[v] == 0 is the O(1) fast path for
+	// "not live". Unlike the incidental tree shape, the witness set is
+	// a pure function of the stream prefix, so every emission decision
+	// made through it is canonical.
+	support map[stream.VertexID]int32
+
+	// preLive is non-nil only during one expiry/delete pass. It records,
+	// for each vertex about to lose a final witness, whether the pair
+	// (root, v) was live when the pass started — captured before any
+	// pruning (for delete-marked subtrees: before the timestamps are
+	// overwritten). It suppresses re-match emissions for pairs the pass
+	// merely cuts and reconnects, and at the end of a delete the pairs
+	// with preLive true that did not come back live are exactly the
+	// canonical invalidation set.
+	preLive map[stream.VertexID]bool
 }
 
 // RAPQ is the incremental engine for Regular Arbitrary Path Queries
@@ -54,6 +74,9 @@ type RAPQ struct {
 	// rev[label] lists transitions grouped by target state for expiry
 	// reconnection: rev[label][t] = states s with δ(s,label)=t.
 	rev [][][]int32
+
+	// finals lists the accepting states once, for the liveness scans.
+	finals []int32
 
 	// epoch is the graph epoch this engine's traversals read at (the
 	// explicit epoch handle of the versioned snapshot graph). A
@@ -103,6 +126,12 @@ func NewRAPQ(a *automaton.Bound, spec window.Spec, opts ...Option) *RAPQ {
 		}
 		rev[l] = byTarget
 	}
+	var finals []int32
+	for s := int32(0); s < int32(a.K); s++ {
+		if a.Final[s] {
+			finals = append(finals, s)
+		}
+	}
 	return &RAPQ{
 		a:            a,
 		g:            graph.New(),
@@ -111,6 +140,7 @@ func NewRAPQ(a *automaton.Bound, spec window.Spec, opts ...Option) *RAPQ {
 		trees:        make(map[stream.VertexID]*tree),
 		inv:          newInvIndex(1),
 		rev:          rev,
+		finals:       finals,
 		scanAllTrees: cfg.scanAllTrees,
 	}
 }
@@ -233,9 +263,10 @@ func (e *RAPQ) ensureTree(x stream.VertexID) *tree {
 		return tx
 	}
 	tx := &tree{
-		root:   x,
-		nodes:  make(map[nodeKey]*treeNode),
-		vcount: make(map[stream.VertexID]int32),
+		root:    x,
+		nodes:   make(map[nodeKey]*treeNode),
+		vcount:  make(map[stream.VertexID]int32),
+		support: make(map[stream.VertexID]int32),
 	}
 	rk := mkNodeKey(x, e.a.Start)
 	tx.nodes[rk] = &treeNode{v: x, s: e.a.Start, ts: rootTS, parent: rk}
@@ -251,6 +282,27 @@ func (e *RAPQ) ensureTree(x stream.VertexID) *tree {
 func (e *RAPQ) addInv(v, root stream.VertexID) { e.inv.add(v, root) }
 
 func (e *RAPQ) dropInv(v, root stream.VertexID) { e.inv.drop(v, root) }
+
+// isLive reports whether the result pair (tx.root, v) is currently
+// live: some final-state witness node for v sits inside the window.
+// Stale witnesses (lazy expiry leaves them in the tree until the next
+// slide boundary) do not count, and neither does the root node. The
+// witness set — unlike the tree shape — is canonical, so liveness is a
+// pure function of the stream prefix.
+func (e *RAPQ) isLive(tx *tree, v stream.VertexID, validFrom int64) bool {
+	if tx.support[v] == 0 {
+		return false
+	}
+	for _, s := range e.finals {
+		if v == tx.root && s == e.a.Start {
+			continue // the root witnesses only the empty path
+		}
+		if n, ok := tx.nodes[mkNodeKey(v, s)]; ok && n.ts > validFrom {
+			return true
+		}
+	}
+	return false
+}
 
 // insert is Algorithm Insert, run with an explicit stack. It adds
 // (v,t) to tx as a child of parent (or improves its timestamp and
@@ -291,12 +343,24 @@ func (e *RAPQ) insert(tx *tree, parent *treeNode, v stream.VertexID, t int32, ed
 		e.stats.InsertCalls++
 
 		if exists {
+			// A stale witness re-entering the window flips the pair
+			// (root, v) live again; under lazy expiry this refresh is
+			// the only trace of that transition, so it must emit here
+			// exactly when no other in-window witness already covers it.
+			if e.a.Final[op.t] && node.ts <= validFrom && newTS > validFrom &&
+				!tx.preLive[op.v] && !e.isLive(tx, op.v, validFrom) {
+				e.emit(tx.root, op.v)
+			}
 			// Timestamp refresh: re-parent to the fresher path.
 			e.detach(tx, node)
 			node.ts = newTS
 			node.parent = op.parent
 			e.attach(par, key)
 		} else {
+			wasLive := false
+			if e.a.Final[op.t] {
+				wasLive = tx.preLive[op.v] || e.isLive(tx, op.v, validFrom)
+			}
 			node = &treeNode{v: op.v, s: op.t, ts: newTS, parent: op.parent}
 			tx.nodes[key] = node
 			e.attach(par, key)
@@ -305,7 +369,10 @@ func (e *RAPQ) insert(tx *tree, parent *treeNode, v stream.VertexID, t int32, ed
 				e.addInv(op.v, tx.root)
 			}
 			if e.a.Final[op.t] {
-				e.emit(tx.root, op.v) // line 6 of Insert
+				tx.support[op.v]++
+				if newTS > validFrom && !wasLive {
+					e.emit(tx.root, op.v) // line 6 of Insert: (root, v) went live
+				}
 			}
 		}
 
@@ -350,10 +417,15 @@ func (e *RAPQ) detach(tx *tree, node *treeNode) {
 }
 
 // remove deletes the node from the tree entirely, maintaining the
-// inverted index.
+// inverted index and the per-vertex witness support counts.
 func (e *RAPQ) remove(tx *tree, key nodeKey, node *treeNode) {
 	e.detach(tx, node)
 	delete(tx.nodes, key)
+	if e.a.Final[node.s] && !(node.v == tx.root && node.s == e.a.Start) {
+		if tx.support[node.v]--; tx.support[node.v] == 0 {
+			delete(tx.support, node.v)
+		}
+	}
 	tx.vcount[node.v]--
 	if tx.vcount[node.v] == 0 {
 		delete(tx.vcount, node.v)
@@ -394,17 +466,33 @@ func (e *RAPQ) expireTree(tx *tree, deadline int64, invalidate bool) {
 	for key, node := range tx.nodes {
 		if node.ts <= deadline {
 			candidates = append(candidates, key)
+			// Record, before any pruning, whether each pair about to
+			// lose a final witness was live when the pass started.
+			// Delete-marked subtrees were recorded by markSubtree while
+			// their timestamps were still intact; everything else is
+			// genuinely stale and recorded here.
+			if e.a.Final[node.s] {
+				if _, seen := tx.preLive[node.v]; !seen {
+					if tx.preLive == nil {
+						tx.preLive = make(map[stream.VertexID]bool)
+					}
+					tx.preLive[node.v] = e.isLive(tx, node.v, deadline)
+				}
+			}
 		}
 	}
 	if len(candidates) == 0 {
+		tx.preLive = nil
 		return
 	}
+	// Canonical candidate order: the reconnection below converges to the
+	// same witness set and timestamps in any order, but visiting keys in
+	// sorted order makes the sequential emission order within the pass a
+	// pure function of the stream as well.
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
 	// Line 3: prune all candidates from the tree.
-	removed := make(map[nodeKey]*treeNode, len(candidates))
 	for _, key := range candidates {
-		node := tx.nodes[key]
-		removed[key] = node
-		e.remove(tx, key, node)
+		e.remove(tx, key, tx.nodes[key])
 	}
 	// Lines 4–9: try to reconnect each candidate through a valid edge
 	// from a valid node. Insert re-adds reachable descendants with
@@ -445,38 +533,32 @@ func (e *RAPQ) expireTree(tx *tree, deadline int64, invalidate bool) {
 			e.insert(tx, bestParent, v, t, bestEdgeTS, deadline)
 		}
 	}
-	if !invalidate {
-		return
-	}
-	// Lines 11–15: report invalidated results (used for explicit
-	// deletions only). A pair (x,v) is retracted only when no final
-	// node for v survives in the tree.
-	for key, node := range removed {
-		if _, back := tx.nodes[key]; back {
-			continue
+	// Lines 11–15, canonicalized: a pair (x,v) is retracted exactly when
+	// it was live before the deletion and no in-window final witness
+	// survived pruning + reconnection. The decision depends only on the
+	// canonical witness set, never on which nodes the incidental tree
+	// shape happened to route the deletion through — deleting a non-tree
+	// edge can never make a witness unreachable (if it could, the tree
+	// path would use the deleted edge too), so the invalidation stream is
+	// a pure function of the input stream. Window expiry (invalidate ==
+	// false) retracts nothing: results carry implicit window semantics.
+	if invalidate && len(tx.preLive) > 0 {
+		vs := make([]stream.VertexID, 0, len(tx.preLive))
+		for v, was := range tx.preLive {
+			if was {
+				vs = append(vs, v)
+			}
 		}
-		if !e.a.Final[node.s] {
-			continue
-		}
-		if e.hasFinalNode(tx, node.v) {
-			continue
-		}
-		e.stats.Invalidations++
-		e.sink.OnInvalidate(Match{From: tx.root, To: node.v, TS: e.now})
-	}
-}
-
-// hasFinalNode reports whether any (v, sf) with sf ∈ F remains in tx.
-func (e *RAPQ) hasFinalNode(tx *tree, v stream.VertexID) bool {
-	for s := int32(0); s < int32(e.a.K); s++ {
-		if !e.a.Final[s] {
-			continue
-		}
-		if _, ok := tx.nodes[mkNodeKey(v, s)]; ok {
-			return true
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		for _, v := range vs {
+			if e.isLive(tx, v, deadline) {
+				continue
+			}
+			e.stats.Invalidations++
+			e.sink.OnInvalidate(Match{From: tx.root, To: v, TS: e.now})
 		}
 	}
-	return false
+	tx.preLive = nil
 }
 
 // ApplyDelete is Algorithm Delete (§3.2): explicit deletion via the
@@ -509,7 +591,7 @@ func (e *RAPQ) ApplyDelete(t stream.Tuple) {
 			if !ok || child.parent != mkNodeKey(t.Src, tr.From) {
 				continue // not a tree edge w.r.t. Tx (Definition 13)
 			}
-			e.markSubtree(tx, mkNodeKey(t.Dst, tr.To))
+			e.markSubtree(tx, mkNodeKey(t.Dst, tr.To), validFrom)
 			touched = true
 		}
 		if !touched {
@@ -526,7 +608,10 @@ func (e *RAPQ) ApplyDelete(t stream.Tuple) {
 
 // markSubtree sets the timestamps of the subtree rooted at key to -∞,
 // marking every node in it as expired (Algorithm Delete lines 4–7).
-func (e *RAPQ) markSubtree(tx *tree, key nodeKey) {
+// Before overwriting a final witness's timestamp it records whether its
+// pair was live, so the invalidation pass of expireTree decides against
+// the pre-deletion window state rather than the clobbered one.
+func (e *RAPQ) markSubtree(tx *tree, key nodeKey, validFrom int64) {
 	stack := []nodeKey{key}
 	for len(stack) > 0 {
 		k := stack[len(stack)-1]
@@ -534,6 +619,14 @@ func (e *RAPQ) markSubtree(tx *tree, key nodeKey) {
 		node := tx.nodes[k]
 		if node == nil {
 			continue
+		}
+		if e.a.Final[node.s] {
+			if _, seen := tx.preLive[node.v]; !seen {
+				if tx.preLive == nil {
+					tx.preLive = make(map[stream.VertexID]bool)
+				}
+				tx.preLive[node.v] = e.isLive(tx, node.v, validFrom)
+			}
 		}
 		node.ts = expiredTS
 		for child := range node.children {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"streamrpq/internal/automaton"
@@ -31,6 +32,18 @@ type sptree struct {
 	marked map[nodeKey]struct{}  // Mx
 	vcount map[stream.VertexID]int32
 	size   int // live instances, including the root
+
+	// support counts the final-state witness instances per result
+	// vertex (the root instance is excluded). A result pair (rootV, v)
+	// is live iff a counted witness is inside the window; support[v] ==
+	// 0 is the O(1) fast path for "not live". See tree.support in
+	// rapq.go — the role is identical, adapted to instance lists.
+	support map[stream.VertexID]int32
+
+	// preLive is non-nil only during one expiry/delete pass: per vertex
+	// losing a final witness, whether (rootV, v) was live when the pass
+	// started. See tree.preLive in rapq.go.
+	preLive map[stream.VertexID]bool
 }
 
 // RSPQ is the incremental engine for Regular Simple Path Queries over
@@ -47,6 +60,9 @@ type RSPQ struct {
 	trees map[stream.VertexID]*sptree
 	inv   map[stream.VertexID]map[stream.VertexID]struct{}
 	rev   [][][]int32 // rev[label][t] = states s with δ(s,label)=t
+
+	// finals lists the accepting states once, for the liveness scans.
+	finals []int32
 
 	// epoch is the explicit epoch handle RSPQ traversals read the
 	// snapshot graph at. The engine is strictly single-goroutine and
@@ -83,6 +99,12 @@ func NewRSPQ(a *automaton.Bound, spec window.Spec, opts ...Option) *RSPQ {
 		}
 		rev[l] = byTarget
 	}
+	var finals []int32
+	for s := int32(0); s < int32(a.K); s++ {
+		if a.Final[s] {
+			finals = append(finals, s)
+		}
+	}
 	return &RSPQ{
 		a:          a,
 		g:          graph.New(),
@@ -91,6 +113,7 @@ func NewRSPQ(a *automaton.Bound, spec window.Spec, opts ...Option) *RSPQ {
 		trees:      make(map[stream.VertexID]*sptree),
 		inv:        make(map[stream.VertexID]map[stream.VertexID]struct{}),
 		rev:        rev,
+		finals:     finals,
 		maxExtends: cfg.maxExtends,
 	}
 }
@@ -155,6 +178,10 @@ func (e *RSPQ) processInsert(t stream.Tuple) {
 	for root := range e.inv[t.Src] {
 		e.rootScratch = append(e.rootScratch, root)
 	}
+	// Canonical tree order: the Extend budget counter (WithMaxExtends) is
+	// shared across trees and instance-list append order steers later
+	// traversals, so the fan-out must not depend on map iteration order.
+	sort.Slice(e.rootScratch, func(i, j int) bool { return e.rootScratch[i] < e.rootScratch[j] })
 	for _, root := range e.rootScratch {
 		tx := e.trees[root]
 		if tx == nil {
@@ -189,12 +216,13 @@ func (e *RSPQ) ensureTree(x stream.VertexID) *sptree {
 	}
 	root := &spNode{v: x, s: e.a.Start, ts: rootTS}
 	tx := &sptree{
-		rootV:  x,
-		root:   root,
-		inst:   map[nodeKey][]*spNode{mkNodeKey(x, e.a.Start): {root}},
-		marked: make(map[nodeKey]struct{}),
-		vcount: map[stream.VertexID]int32{x: 1},
-		size:   1,
+		rootV:   x,
+		root:    root,
+		inst:    map[nodeKey][]*spNode{mkNodeKey(x, e.a.Start): {root}},
+		marked:  make(map[nodeKey]struct{}),
+		vcount:  map[stream.VertexID]int32{x: 1},
+		size:    1,
+		support: make(map[stream.VertexID]int32),
 	}
 	e.trees[x] = tx
 	e.addInv(x, x)
@@ -247,6 +275,33 @@ func firstStateAt(p *spNode, v stream.VertexID) (int32, bool) {
 	return state, found
 }
 
+// isLiveSP reports whether the result pair (tx.rootV, v) is currently
+// live: some final-state instance for v sits inside the window. Stale
+// instances (lazy expiry leaves them until the next slide boundary) do
+// not count, and neither does the root instance.
+func (e *RSPQ) isLiveSP(tx *sptree, v stream.VertexID, validFrom int64) bool {
+	if tx.support[v] == 0 {
+		return false
+	}
+	for _, s := range e.finals {
+		for _, n := range tx.inst[mkNodeKey(v, s)] {
+			if n != tx.root && n.ts > validFrom {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// spCont is one pending out-edge continuation of an Extend expansion,
+// collected so the expansion can run in canonical order.
+type spCont struct {
+	w  stream.VertexID
+	r  int32
+	l  stream.LabelID
+	ts int64
+}
+
 // extend is Algorithm Extend: it attempts to grow the prefix path
 // ending at parent with the node (v,t) reached over an edge with
 // timestamp edgeTS.
@@ -277,15 +332,20 @@ func (e *RSPQ) extend(tx *sptree, parent *spNode, v stream.VertexID, t int32, ed
 		return
 	}
 
-	// Lines 5–13: extend the path.
-	if e.a.Final[t] {
+	// Lines 5–13: extend the path. A result is emitted exactly when the
+	// pair (rootV, v) flips from dead to live: duplicate witnesses and
+	// pairs an expiry/delete pass merely cuts and reconnects (preLive)
+	// stay silent, so the result stream is canonical.
+	newTS := min(edgeTS, parent.ts)
+	if e.a.Final[t] && newTS > validFrom &&
+		!tx.preLive[v] && !e.isLiveSP(tx, v, validFrom) {
 		e.emit(tx.rootV, v)
 	}
 	key := mkNodeKey(v, t)
 	if len(tx.inst[key]) == 0 {
 		tx.marked[key] = struct{}{} // line 9: first instance gets marked
 	}
-	node := &spNode{v: v, s: t, ts: min(edgeTS, parent.ts), parent: parent}
+	node := &spNode{v: v, s: t, ts: newTS, parent: parent}
 	if parent.children == nil {
 		parent.children = make(map[*spNode]struct{})
 	}
@@ -296,8 +356,16 @@ func (e *RSPQ) extend(tx *sptree, parent *spNode, v stream.VertexID, t int32, ed
 	if tx.vcount[v] == 1 {
 		e.addInv(v, tx.rootV)
 	}
+	if e.a.Final[t] {
+		tx.support[v]++
+	}
 
-	// Lines 14–18: expand out-edges inside the window.
+	// Lines 14–18: expand out-edges inside the window, in canonical
+	// (target key, label) order. Instance-list append order steers every
+	// later traversal (snapshots, re-exploration, expiry collection), so
+	// the expansion order must be a pure function of the stream, not of
+	// the adjacency map's iteration order.
+	var conts []spCont
 	e.g.OutAt(e.epoch, v, func(w stream.VertexID, l stream.LabelID, ts int64) bool {
 		if ts <= validFrom {
 			return true
@@ -306,15 +374,25 @@ func (e *RSPQ) extend(tx *sptree, parent *spNode, v stream.VertexID, t int32, ed
 		if r == automaton.NoState {
 			return true
 		}
-		if pathVisits(node, w, r) {
-			return true // line 15: r ∈ pnew[w]
-		}
-		if _, m := tx.marked[mkNodeKey(w, r)]; m {
-			return true // line 15: (w,r) ∈ Mx
-		}
-		e.extend(tx, node, w, r, ts, validFrom)
+		conts = append(conts, spCont{w: w, r: r, l: l, ts: ts})
 		return true
 	})
+	sort.Slice(conts, func(i, j int) bool {
+		ki, kj := mkNodeKey(conts[i].w, conts[i].r), mkNodeKey(conts[j].w, conts[j].r)
+		if ki != kj {
+			return ki < kj
+		}
+		return conts[i].l < conts[j].l
+	})
+	for _, c := range conts {
+		if pathVisits(node, c.w, c.r) {
+			continue // line 15: r ∈ pnew[w]
+		}
+		if _, m := tx.marked[mkNodeKey(c.w, c.r)]; m {
+			continue // line 15: (w,r) ∈ Mx
+		}
+		e.extend(tx, node, c.w, c.r, c.ts, validFrom)
+	}
 }
 
 // unmark is Algorithm Unmark: starting from the end of the prefix path
@@ -333,38 +411,83 @@ func (e *RSPQ) unmark(tx *sptree, last *spNode, validFrom int64) {
 		queue = append(queue, key)
 	}
 	// Lines 7–13: for each unmarked (v,t), re-run the traversals that
-	// were pruned while it was marked.
+	// were pruned while it was marked, visiting the candidate parents in
+	// the canonical best-offer order so whatever instances the cascade
+	// builds are a pure function of the stream.
 	for _, key := range queue {
 		v, t := key.vertex(), key.state()
-		e.g.InAt(e.epoch, v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
-			if ts <= validFrom {
-				return true
+		for _, of := range e.collectOffers(tx, v, t, validFrom) {
+			if _, m := tx.marked[key]; m {
+				continue // re-marked during this cascade
 			}
-			rt := e.rev[l]
-			if rt == nil {
-				return true
+			if hasEquivalentChild(of.parent, v, t, of.offer) {
+				continue // identical extension already present
 			}
-			for _, s := range rt[t] {
-				cands := append([]*spNode(nil), tx.inst[mkNodeKey(u, s)]...)
-				for _, p := range cands {
-					if p.dead || p.ts <= validFrom {
-						continue
-					}
-					if pathVisits(p, v, t) {
-						continue
-					}
-					if _, m := tx.marked[mkNodeKey(v, t)]; m {
-						continue // re-marked during this cascade
-					}
-					if hasEquivalentChild(p, v, t, min(ts, p.ts)) {
-						continue // identical extension already present
-					}
-					e.extend(tx, p, v, t, ts, validFrom)
-				}
-			}
-			return true
-		})
+			e.extend(tx, of.parent, v, t, of.ts, validFrom)
+		}
 	}
+}
+
+// spOffer is one candidate (parent instance, in-edge) pair that could
+// extend into a key being restored or re-explored, with the fields that
+// define the canonical scan order.
+type spOffer struct {
+	offer  int64 // min(edge ts, parent path ts): timestamp of the offered path
+	pkey   nodeKey
+	pidx   int32 // index in the parent key's instance list
+	l      stream.LabelID
+	ts     int64 // edge timestamp
+	parent *spNode
+}
+
+// collectOffers gathers every viable (parent instance, edge) pair that
+// could extend into (v,t), sorted best offer first: higher offered path
+// timestamp wins, ties break on parent key, instance-list index, then
+// label. Both the expiry reconnection and Unmark's re-exploration scan
+// this order instead of the graph's map-ordered adjacency lists, which
+// is what makes the restored instances — and with them every later
+// traversal — a pure function of the stream.
+func (e *RSPQ) collectOffers(tx *sptree, v stream.VertexID, t int32, validFrom int64) []spOffer {
+	var offers []spOffer
+	e.g.InAt(e.epoch, v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
+		if ts <= validFrom {
+			return true
+		}
+		rt := e.rev[l]
+		if rt == nil {
+			return true
+		}
+		for _, s := range rt[t] {
+			pk := mkNodeKey(u, s)
+			for i, p := range tx.inst[pk] {
+				if p.dead || p.ts <= validFrom {
+					continue
+				}
+				if pathVisits(p, v, t) {
+					continue
+				}
+				offers = append(offers, spOffer{
+					offer: min(ts, p.ts), pkey: pk, pidx: int32(i),
+					l: l, ts: ts, parent: p,
+				})
+			}
+		}
+		return true
+	})
+	sort.Slice(offers, func(i, j int) bool {
+		a, b := offers[i], offers[j]
+		if a.offer != b.offer {
+			return a.offer > b.offer
+		}
+		if a.pkey != b.pkey {
+			return a.pkey < b.pkey
+		}
+		if a.pidx != b.pidx {
+			return a.pidx < b.pidx
+		}
+		return a.l < b.l
+	})
+	return offers
 }
 
 // hasEquivalentChild reports whether parent already has a live child
@@ -387,13 +510,20 @@ func (e *RSPQ) emit(x, v stream.VertexID) {
 	e.sink.OnMatch(Match{From: x, To: v, TS: e.now})
 }
 
-// expireAll runs ExpiryRSPQ over every tree and purges expired edges
-// from the snapshot graph.
+// expireAll runs ExpiryRSPQ over every tree (in canonical root order —
+// the Extend budget counter is shared across trees) and purges expired
+// edges from the snapshot graph.
 func (e *RSPQ) expireAll(deadline int64, invalidate bool) {
 	start := time.Now()
 	e.stats.ExpiryRuns++
 	e.g.Expire(deadline, nil)
-	for root, tx := range e.trees {
+	roots := make([]stream.VertexID, 0, len(e.trees))
+	for root := range e.trees {
+		roots = append(roots, root)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, root := range roots {
+		tx := e.trees[root]
 		e.expireTree(tx, deadline, invalidate)
 		if tx.size == 1 {
 			e.removeNode(tx, tx.root)
@@ -405,17 +535,36 @@ func (e *RSPQ) expireAll(deadline int64, invalidate bool) {
 
 // expireTree is Algorithm ExpiryRSPQ for one spanning tree.
 func (e *RSPQ) expireTree(tx *sptree, deadline int64, invalidate bool) {
-	// Line 2: expired instances. Children of an expired instance are
-	// themselves expired (path timestamps are non-increasing).
+	// Line 2: expired instances, collected in canonical (key, list
+	// index) order — pruning, reconnection and the re-marking pass all
+	// inherit it. Children of an expired instance are themselves expired
+	// (path timestamps are non-increasing).
+	keys := make([]nodeKey, 0, len(tx.inst))
+	for key := range tx.inst {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	var expired []*spNode
-	for _, insts := range tx.inst {
-		for _, n := range insts {
+	for _, key := range keys {
+		for _, n := range tx.inst[key] {
 			if n.ts <= deadline {
 				expired = append(expired, n)
+				// Record pre-pass liveness before pruning mutates the
+				// witness set; delete-marked subtrees were recorded by
+				// markSubtreeExpired while their timestamps were intact.
+				if e.a.Final[n.s] && n != tx.root {
+					if _, seen := tx.preLive[n.v]; !seen {
+						if tx.preLive == nil {
+							tx.preLive = make(map[stream.VertexID]bool)
+						}
+						tx.preLive[n.v] = e.isLiveSP(tx, n.v, deadline)
+					}
+				}
 			}
 		}
 	}
 	if len(expired) == 0 {
+		tx.preLive = nil
 		return
 	}
 	// Remember parents for the re-marking pass (lines 12–14).
@@ -424,62 +573,54 @@ func (e *RSPQ) expireTree(tx *sptree, deadline int64, invalidate bool) {
 		parent *spNode
 	}
 	infos := make([]removedInfo, 0, len(expired))
-	// Lines 3–5: prune Tx and Mx. The paper reconnects only marked
-	// candidates (P ← Mx ∩ E), arguing that unmarking already
-	// re-explored the incoming edges of unmarked nodes; under explicit
-	// deletions that argument breaks when the alternative instances
-	// created by Unmark sit in the deleted subtree themselves, so we
-	// attempt reconnection for every key that lost its last instance.
-	candidates := make(map[nodeKey]struct{})
+	// Lines 3–5: prune Tx and Mx. The paper reconnects only the marked
+	// candidates (P ← Mx ∩ E), arguing that Unmark already re-explored
+	// the incoming edges of unmarked keys when their markings were
+	// removed; under lazy expiry and explicit deletions that shortcut is
+	// unsound — the alternative instances Unmark created may sit in the
+	// pruned subtree themselves — so reconnection is attempted for every
+	// key that lost its last instance (the checked-in fixture stream in
+	// testdata/ exercises exactly this gap).
+	candSet := make(map[nodeKey]struct{}, len(expired))
+	var candidates []nodeKey // canonical order: expired is key-sorted
 	for _, n := range expired {
 		key := mkNodeKey(n.v, n.s)
-		candidates[key] = struct{}{}
+		if _, dup := candSet[key]; !dup {
+			candSet[key] = struct{}{}
+			candidates = append(candidates, key)
+		}
 		infos = append(infos, removedInfo{key: key, parent: n.parent})
 		e.removeNode(tx, n)
 	}
-	for key := range candidates {
+	kept := candidates[:0]
+	for _, key := range candidates {
 		if len(tx.inst[key]) > 0 {
-			delete(candidates, key) // a live instance survives; stays marked
-		} else {
-			delete(tx.marked, key) // Mx ← Mx \ E
+			continue // a live instance survives; stays marked
+		}
+		delete(tx.marked, key) // Mx ← Mx \ E
+		kept = append(kept, key)
+	}
+	candidates = kept
+	// Lines 6–11: reconnect candidates through valid edges, best offer
+	// first in the canonical scan order of collectOffers. The first
+	// offer Extend accepts re-marks the key and ends the scan, so which
+	// instance gets restored — and everything its cascade builds — is a
+	// pure function of the stream.
+	validFrom := deadline
+	for _, key := range candidates {
+		v, t := key.vertex(), key.state()
+		for _, of := range e.collectOffers(tx, v, t, validFrom) {
+			if _, m := tx.marked[key]; m {
+				break // reconnected (extend re-marks first instances)
+			}
+			if hasEquivalentChild(of.parent, v, t, of.offer) {
+				continue
+			}
+			e.extend(tx, of.parent, v, t, of.ts, validFrom)
 		}
 	}
-	// Lines 6–11: reconnect marked candidates through valid edges.
-	validFrom := deadline
-	for key := range candidates {
-		v, t := key.vertex(), key.state()
-		e.g.InAt(e.epoch, v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
-			if ts <= validFrom {
-				return true
-			}
-			rt := e.rev[l]
-			if rt == nil {
-				return true
-			}
-			for _, s := range rt[t] {
-				cands := append([]*spNode(nil), tx.inst[mkNodeKey(u, s)]...)
-				for _, p := range cands {
-					if p.dead || p.ts <= validFrom {
-						continue
-					}
-					if pathVisits(p, v, t) {
-						continue
-					}
-					if _, m := tx.marked[key]; m {
-						return false // reconnected (extend re-marks first instances)
-					}
-					if hasEquivalentChild(p, v, t, min(ts, p.ts)) {
-						continue
-					}
-					e.extend(tx, p, v, t, ts, validFrom)
-				}
-			}
-			return true
-		})
-	}
-	// Lines 12–18: re-marking of parents whose conflicting descendants
-	// expired, and result invalidation.
-	seenInvalid := make(map[stream.VertexID]struct{})
+	// Lines 12–14: parents whose conflicting descendants expired are
+	// marked again once every remaining child is marked.
 	for _, info := range infos {
 		if len(tx.inst[info.key]) > 0 {
 			continue // some instance survives or was reconnected
@@ -489,15 +630,29 @@ func (e *RSPQ) expireTree(tx *sptree, deadline int64, invalidate bool) {
 				tx.marked[mkNodeKey(p.v, p.s)] = struct{}{}
 			}
 		}
-		v, t := info.key.vertex(), info.key.state()
-		if invalidate && e.a.Final[t] {
-			if _, dup := seenInvalid[v]; !dup && !e.hasFinalInstance(tx, v) {
-				seenInvalid[v] = struct{}{}
-				e.stats.Invalidations++
-				e.sink.OnInvalidate(Match{From: tx.rootV, To: v, TS: e.now})
+	}
+	// Lines 15–18, canonicalized: a pair (x,v) is retracted exactly when
+	// it was live before the pass and no in-window final witness
+	// survived pruning + reconnection (see RAPQ.expireTree for the
+	// shape-independence argument). Window expiry (invalidate == false)
+	// retracts nothing: results carry implicit window semantics.
+	if invalidate && len(tx.preLive) > 0 {
+		vs := make([]stream.VertexID, 0, len(tx.preLive))
+		for v, was := range tx.preLive {
+			if was {
+				vs = append(vs, v)
 			}
 		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		for _, v := range vs {
+			if e.isLiveSP(tx, v, deadline) {
+				continue
+			}
+			e.stats.Invalidations++
+			e.sink.OnInvalidate(Match{From: tx.rootV, To: v, TS: e.now})
+		}
 	}
+	tx.preLive = nil
 }
 
 func allChildrenMarked(tx *sptree, p *spNode) bool {
@@ -512,9 +667,14 @@ func allChildrenMarked(tx *sptree, p *spNode) bool {
 	return true
 }
 
+// hasFinalInstance reports whether any final-state instance for v —
+// fresh or stale — remains in tx. Tests use it as the index-completeness
+// probe: under lazy expiry a valid pair may be witnessed only by a stale
+// instance whose marking blocks a fresher duplicate until the next
+// slide boundary. Liveness decisions use isLiveSP instead.
 func (e *RSPQ) hasFinalInstance(tx *sptree, v stream.VertexID) bool {
-	for s := int32(0); s < int32(e.a.K); s++ {
-		if e.a.Final[s] && len(tx.inst[mkNodeKey(v, s)]) > 0 {
+	for _, s := range e.finals {
+		if len(tx.inst[mkNodeKey(v, s)]) > 0 {
 			return true
 		}
 	}
@@ -524,6 +684,9 @@ func (e *RSPQ) hasFinalInstance(tx *sptree, v stream.VertexID) bool {
 // removeNode detaches one instance from the tree and updates all
 // indexes. Descendants are not touched; callers remove them separately
 // (expiry collects whole subtrees because timestamps are monotone).
+// Removal preserves the instance-list order: the list order steers
+// traversal order, so it must stay a pure function of the stream
+// (swap-removal would scramble it with map-iteration noise).
 func (e *RSPQ) removeNode(tx *sptree, n *spNode) {
 	if n.dead {
 		return
@@ -536,8 +699,7 @@ func (e *RSPQ) removeNode(tx *sptree, n *spNode) {
 	insts := tx.inst[key]
 	for i, m := range insts {
 		if m == n {
-			insts[i] = insts[len(insts)-1]
-			insts = insts[:len(insts)-1]
+			insts = append(insts[:i], insts[i+1:]...)
 			break
 		}
 	}
@@ -545,6 +707,11 @@ func (e *RSPQ) removeNode(tx *sptree, n *spNode) {
 		delete(tx.inst, key)
 	} else {
 		tx.inst[key] = insts
+	}
+	if e.a.Final[n.s] && n != tx.root {
+		if tx.support[n.v]--; tx.support[n.v] == 0 {
+			delete(tx.support, n.v)
+		}
 	}
 	tx.size--
 	tx.vcount[n.v]--
@@ -567,6 +734,7 @@ func (e *RSPQ) processDelete(t stream.Tuple) {
 	for root := range e.inv[t.Src] {
 		e.rootScratch = append(e.rootScratch, root)
 	}
+	sort.Slice(e.rootScratch, func(i, j int) bool { return e.rootScratch[i] < e.rootScratch[j] })
 	for _, root := range e.rootScratch {
 		tx := e.trees[root]
 		if tx == nil {
@@ -579,7 +747,7 @@ func (e *RSPQ) processDelete(t stream.Tuple) {
 				if p == nil || p.dead || p.v != t.Src || p.s != tr.From {
 					continue
 				}
-				markSubtreeExpired(c)
+				e.markSubtreeExpired(tx, c, validFrom)
 				touched = true
 			}
 		}
@@ -594,11 +762,24 @@ func (e *RSPQ) processDelete(t stream.Tuple) {
 	}
 }
 
-func markSubtreeExpired(n *spNode) {
+// markSubtreeExpired sets the timestamps of the subtree rooted at n to
+// -∞ so the expiry pass treats it as expired. Before overwriting a
+// final witness's timestamp it records whether its pair was live, so
+// the invalidation pass decides against the pre-deletion window state
+// rather than the clobbered one.
+func (e *RSPQ) markSubtreeExpired(tx *sptree, n *spNode, validFrom int64) {
 	stack := []*spNode{n}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		if e.a.Final[cur.s] && cur != tx.root {
+			if _, seen := tx.preLive[cur.v]; !seen {
+				if tx.preLive == nil {
+					tx.preLive = make(map[stream.VertexID]bool)
+				}
+				tx.preLive[cur.v] = e.isLiveSP(tx, cur.v, validFrom)
+			}
+		}
 		cur.ts = expiredTS
 		for c := range cur.children {
 			stack = append(stack, c)

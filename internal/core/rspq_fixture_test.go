@@ -13,10 +13,9 @@ import (
 	"streamrpq/internal/window"
 )
 
-// loadFixtureStream parses a captured rspq-flake workload: '#' header
-// lines, then "ts vSRC vDST label [+|-]" tuples (the format
-// dumpFlakeWorkload writes and CI uploads as the rspq-flake-workloads
-// artifact).
+// loadFixtureStream parses a captured workload: '#' header lines, then
+// "ts vSRC vDST label [+|-]" tuples (the format the pre-fix flake
+// hunter wrote when it caught a failing randomized stream).
 func loadFixtureStream(t *testing.T, path string, labels []string) []stream.Tuple {
 	t.Helper()
 	f, err := os.Open(path)
@@ -68,27 +67,14 @@ func loadFixtureStream(t *testing.T, path string, labels []string) []stream.Tupl
 	return out
 }
 
-// TestRSPQLazyExpiryFixture is the checked-in deterministic repro of
-// the pre-existing seed bug quarantined as TestRSPQLazyExpiry (see
-// ROADMAP "RSPQ lazy-expiry completeness"): on this captured workload
-// — query (a/b)+, window size 18 / slide 4 — the RSPQ expiry
-// reconnection occasionally under-restores instances and misses an
-// oracle pair. The miss is map-iteration-order dependent, so the
-// fixture is replayed many times; while the bug exists some replay
-// fails, which keeps this test red. It stays CI-quarantined
-// (non-blocking, skipped in the main test step) until the
-// canonical-reconnection fix lands — at that point every replay passes
-// and the quarantine can be lifted. The regression test the eventual
-// fix needs is exactly this file.
-//
-// Quarantine: the test is skipped unless RSPQ_FIXTURE_REPRO is set, so
-// the plain `go test ./...` tier stays green while the bug exists; the
-// non-blocking CI step opts in (and the main CI test step's
-// `-skip 'TestRSPQLazyExpiry'` prefix regex would exclude it anyway).
+// TestRSPQLazyExpiryFixture is the regression test for the seed's
+// lazy-expiry completeness bug: on this captured workload — query
+// (a/b)+, window size 18 / slide 4 — the pre-fix RSPQ expiry
+// reconnection occasionally under-restored instances and missed an
+// oracle pair. The miss was map-iteration-order dependent, so the
+// fixture is replayed many times; with canonical reconnection (sorted
+// candidates, best-offer scans) every replay must pass.
 func TestRSPQLazyExpiryFixture(t *testing.T) {
-	if os.Getenv("RSPQ_FIXTURE_REPRO") == "" {
-		t.Skip("deterministic repro of the quarantined RSPQ lazy-expiry seed bug; set RSPQ_FIXTURE_REPRO=1 to run (red while the bug exists)")
-	}
 	path := filepath.Join("testdata", "rspq-lazy-expiry-trial4.stream")
 	tuples := loadFixtureStream(t, path, []string{"a", "b"})
 	if len(tuples) == 0 {
@@ -98,16 +84,9 @@ func TestRSPQLazyExpiryFixture(t *testing.T) {
 	spec := window.Spec{Size: 18, Slide: 4}
 
 	const replays = 60
-	failed := 0
 	for i := 0; i < replays; i++ {
-		ok := t.Run(fmt.Sprintf("replay%d", i), func(t *testing.T) {
+		t.Run(fmt.Sprintf("replay%d", i), func(t *testing.T) {
 			rspqReplayOracle(t, a, spec, tuples, false)
 		})
-		if !ok {
-			failed++
-		}
-	}
-	if failed > 0 {
-		t.Logf("%d/%d replays missed an oracle pair — the quarantined RSPQ lazy-expiry bug reproduces on the checked-in workload", failed, replays)
 	}
 }

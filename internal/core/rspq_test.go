@@ -3,9 +3,6 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"os"
-	"path/filepath"
-	"strings"
 	"testing"
 
 	"streamrpq/internal/automaton"
@@ -175,15 +172,12 @@ func TestRSPQWithDeletionsMatchesOracle(t *testing.T) {
 	}
 }
 
-// TestRSPQLazyExpiry exercises slide intervals larger than a time unit.
-//
-// Known pre-existing seed bug (see ROADMAP "RSPQ lazy-expiry
-// completeness"): the expiry-reconnection / conflict-marking interplay
-// is map-iteration-order dependent and occasionally under-restores
-// instances, so some runs miss an oracle pair. The test runs each trial
-// as a subtest and, when one fails, writes the exact workload (seed,
-// spec, tuples) to $RSPQ_FLAKE_DIR so the quarantined CI step can
-// upload a deterministic repro as a build artifact.
+// TestRSPQLazyExpiry exercises slide intervals larger than a time unit
+// — the regime where lazy expiration batches work at slide boundaries
+// and reconnection order matters most. The seed's map-iteration-order
+// bug made ~9-15% of runs miss an oracle pair here; with canonical
+// reconnection the test is deterministic and runs blocking in CI with
+// -count=200.
 func TestRSPQLazyExpiry(t *testing.T) {
 	const seed = 8989
 	rng := rand.New(rand.NewSource(seed))
@@ -191,47 +185,10 @@ func TestRSPQLazyExpiry(t *testing.T) {
 	spec := window.Spec{Size: 18, Slide: 4}
 	for trial := 0; trial < 6; trial++ {
 		tuples := randomTuples(rng, 120, 7, 2, 2, 0)
-		ok := t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
 			rspqReplayOracle(t, a, spec, tuples, false)
 		})
-		if !ok {
-			dumpFlakeWorkload(t, "rspq-lazy-expiry", seed, trial, spec, tuples)
-		}
 	}
-}
-
-// dumpFlakeWorkload writes a failing randomized workload as a
-// replayable text stream ("ts src dst label [+|-]" lines with a header
-// describing query, window and seed) into $RSPQ_FLAKE_DIR, if set.
-func dumpFlakeWorkload(t *testing.T, name string, seed int64, trial int, spec window.Spec, tuples []stream.Tuple) {
-	t.Helper()
-	dir := os.Getenv("RSPQ_FLAKE_DIR")
-	if dir == "" {
-		t.Logf("%s trial %d failed (seed %d, window %d/%d); set RSPQ_FLAKE_DIR to dump the workload",
-			name, trial, seed, spec.Size, spec.Slide)
-		return
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		t.Logf("flake dump: %v", err)
-		return
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "# %s: failing workload\n# query (a/b)+ labels a,b; window size=%d slide=%d; source seed=%d trial=%d\n",
-		name, spec.Size, spec.Slide, seed, trial)
-	labels := []string{"a", "b"}
-	for _, tu := range tuples {
-		op := "+"
-		if tu.Op == stream.Delete {
-			op = "-"
-		}
-		fmt.Fprintf(&b, "%d v%d v%d %s %s\n", tu.TS, tu.Src, tu.Dst, labels[tu.Label], op)
-	}
-	path := filepath.Join(dir, fmt.Sprintf("%s-trial%d.stream", name, trial))
-	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
-		t.Logf("flake dump: %v", err)
-		return
-	}
-	t.Logf("flake workload written to %s", path)
 }
 
 // TestRSPQSelfLoopNotSimple: a self loop never yields a simple-path

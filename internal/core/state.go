@@ -76,11 +76,26 @@ type TreeNodeState struct {
 	ParentS int32
 }
 
+// SupportCount is one entry of a tree's result-support index: N
+// final-state witness nodes (or instances, for RSPQ) for result vertex
+// V. Support drives the canonical match/invalidation decisions — a
+// pair is retracted exactly when its last in-window witness goes — so
+// it is checkpointed with the tree and cross-checked against the node
+// list on restore rather than silently recomputed.
+type SupportCount struct {
+	V stream.VertexID
+	N int32
+}
+
 // TreeState is one RAPQ spanning tree Tx. The root node (Root, s0) is
 // implicit; Nodes holds everything else in deterministic (v,s) order.
+// Support holds the per-vertex final-witness counts in ascending vertex
+// order; it is derivable from Nodes and verified against them on
+// restore (a mismatch means a corrupt checkpoint).
 type TreeState struct {
-	Root  stream.VertexID
-	Nodes []TreeNodeState
+	Root    stream.VertexID
+	Nodes   []TreeNodeState
+	Support []SupportCount
 }
 
 // RAPQState is the checkpointable state of a RAPQ (or ParallelRAPQ)
@@ -125,9 +140,39 @@ func (e *RAPQ) SnapshotState() *RAPQState {
 				ParentV: n.parent.vertex(), ParentS: n.parent.state(),
 			})
 		}
+		ts.Support = supportStateOf(tx.support)
 		st.Trees = append(st.Trees, ts)
 	}
 	return st
+}
+
+// supportStateOf flattens a support map in ascending vertex order.
+func supportStateOf(support map[stream.VertexID]int32) []SupportCount {
+	if len(support) == 0 {
+		return nil
+	}
+	out := make([]SupportCount, 0, len(support))
+	for v, n := range support {
+		out = append(out, SupportCount{V: v, N: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].V < out[j].V })
+	return out
+}
+
+// checkSupport verifies that the support counts rebuilt from a restored
+// node list agree with the checkpointed ones.
+func checkSupport(rebuilt map[stream.VertexID]int32, want []SupportCount, root stream.VertexID) error {
+	if len(want) != len(rebuilt) {
+		return fmt.Errorf("core: restore: tree %d support has %d vertices, nodes imply %d",
+			root, len(want), len(rebuilt))
+	}
+	for _, sc := range want {
+		if rebuilt[sc.V] != sc.N {
+			return fmt.Errorf("core: restore: tree %d support[%d]=%d, nodes imply %d",
+				root, sc.V, sc.N, rebuilt[sc.V])
+		}
+	}
+	return nil
 }
 
 // RestoreState rebuilds the Δ index from a snapshot. The engine must be
@@ -155,6 +200,9 @@ func (e *RAPQ) RestoreState(st *RAPQState) error {
 			if tx.vcount[ns.V] == 1 {
 				e.addInv(ns.V, tx.root)
 			}
+			if e.a.Final[ns.S] {
+				tx.support[ns.V]++ // Nodes never contains the root
+			}
 		}
 		// Second pass: link children and validate parents.
 		for _, ns := range ts.Nodes {
@@ -165,6 +213,9 @@ func (e *RAPQ) RestoreState(st *RAPQState) error {
 					ns.V, ns.S, ts.Root, ns.ParentV, ns.ParentS)
 			}
 			e.attach(par, key)
+		}
+		if err := checkSupport(tx.support, ts.Support, ts.Root); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -189,11 +240,14 @@ type SPNodeState struct {
 
 // SPTreeState is one RSPQ spanning tree: the instance list (index 0 is
 // the root), in an order that reproduces the per-(vertex,state) instance
-// list order on restore, plus the marking set Mx as packed (v,s) keys.
+// list order on restore, plus the marking set Mx as packed (v,s) keys
+// and the per-vertex final-witness support counts (ascending vertex
+// order, root instance excluded; see SupportCount).
 type SPTreeState struct {
-	RootV  stream.VertexID
-	Nodes  []SPNodeState
-	Marked []uint64
+	RootV   stream.VertexID
+	Nodes   []SPNodeState
+	Marked  []uint64
+	Support []SupportCount
 }
 
 // RSPQState is the checkpointable state of an RSPQ engine, excluding the
@@ -261,6 +315,7 @@ func (e *RSPQ) SnapshotState() *RSPQState {
 			ts.Marked = append(ts.Marked, uint64(key))
 		}
 		sort.Slice(ts.Marked, func(i, j int) bool { return ts.Marked[i] < ts.Marked[j] })
+		ts.Support = supportStateOf(tx.support)
 		st.Trees = append(st.Trees, ts)
 	}
 	return st
@@ -287,11 +342,12 @@ func (e *RSPQ) RestoreState(st *RSPQState) error {
 			nodes[i] = &spNode{v: ns.V, s: ns.S, ts: ns.TS}
 		}
 		tx := &sptree{
-			rootV:  ts.RootV,
-			root:   nodes[0],
-			inst:   make(map[nodeKey][]*spNode, len(ts.Nodes)),
-			marked: make(map[nodeKey]struct{}, len(ts.Marked)),
-			vcount: make(map[stream.VertexID]int32),
+			rootV:   ts.RootV,
+			root:    nodes[0],
+			inst:    make(map[nodeKey][]*spNode, len(ts.Nodes)),
+			marked:  make(map[nodeKey]struct{}, len(ts.Marked)),
+			vcount:  make(map[stream.VertexID]int32),
+			support: make(map[stream.VertexID]int32),
 		}
 		for i, ns := range ts.Nodes {
 			n := nodes[i]
@@ -315,9 +371,15 @@ func (e *RSPQ) RestoreState(st *RSPQState) error {
 			if tx.vcount[ns.V] == 1 {
 				e.addInv(ns.V, tx.rootV)
 			}
+			if e.a.Final[ns.S] && i != 0 {
+				tx.support[ns.V]++ // index 0 is the root instance
+			}
 		}
 		for _, mk := range ts.Marked {
 			tx.marked[nodeKey(mk)] = struct{}{}
+		}
+		if err := checkSupport(tx.support, ts.Support, ts.RootV); err != nil {
+			return err
 		}
 		if _, dup := e.trees[ts.RootV]; dup {
 			return fmt.Errorf("core: restore: duplicate tree %d", ts.RootV)

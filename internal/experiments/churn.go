@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"streamrpq/internal/datasets"
+	"streamrpq/internal/shard"
+	"streamrpq/internal/window"
+	"streamrpq/internal/workload"
+)
+
+// ChurnRow is one measurement of the sharded multi-query engine under
+// delete/re-insert churn: the full doubled query workload at one
+// (shard count, deletion ratio) point. It is the cost profile of
+// support-counting canonical deletions — every explicit deletion cuts
+// its own singleton sub-batch and runs the decremental delete pass.
+type ChurnRow struct {
+	Shards        int           `json:"shards"`
+	DelRatio      float64       `json:"del_ratio"`
+	Queries       int           `json:"queries"`
+	Tuples        int           `json:"tuples"`
+	Throughput    float64       `json:"tuples_per_sec"`
+	NsPerTuple    float64       `json:"ns_per_tuple"`
+	Results       int64         `json:"results"`
+	Invalidations int64         `json:"invalidations"`
+	Slowdown      float64       `json:"slowdown"` // vs the same shard count at ratio 0
+	Elapsed       time.Duration `json:"elapsed_ns"`
+}
+
+// churnRatios are the sweep points; 0 is the append-only reference the
+// per-shard slowdown is computed against.
+var churnRatios = []float64{0, 0.15, 0.30}
+
+// ChurnData measures delete/re-insert churn on the sharded engine: the
+// SO dataset with §5.4-style explicit deletions (previously consumed
+// edges re-inserted as negative tuples) at increasing deletion ratios,
+// for each shard count. Deletions are the expensive path twice over —
+// each one is a singleton sub-batch (a pipeline hazard) AND triggers
+// the support-counting delete pass that makes the invalidation stream
+// canonical — so this sweep is the regression watchpoint for the
+// deterministic-deletions overhead.
+func ChurnData(cfg Config) ([]ChurnRow, error) {
+	base := datasets.SO(datasets.DefaultSO(cfg.Scale / 2))
+	qs := workload.MustQueries(base)
+	queries := append(append([]workload.Query{}, qs...), qs...)
+	spec := defaultWindow(base)
+	shardCounts := cfg.ShardCounts
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 4}
+	}
+	var rows []ChurnRow
+	for _, shards := range shardCounts {
+		var baseThroughput float64
+		for _, ratio := range churnRatios {
+			d := base
+			if ratio > 0 {
+				d = base.WithDeletions(ratio, cfg.Seed+int64(ratio*1000))
+			}
+			run, err := measureChurn(d, spec, queries, shards)
+			if err != nil {
+				return nil, err
+			}
+			if ratio == 0 {
+				baseThroughput = run.Throughput
+			}
+			run.DelRatio = ratio
+			if baseThroughput > 0 {
+				run.Slowdown = baseThroughput / run.Throughput
+			}
+			rows = append(rows, run)
+		}
+	}
+	return rows, nil
+}
+
+// measureChurn runs one (dataset, shard count) configuration through
+// the 256-tuple batch loop of the shard sweeps.
+func measureChurn(d *datasets.Dataset, spec window.Spec, queries []workload.Query, shards int) (ChurnRow, error) {
+	eng, err := shard.New(spec, shard.WithShards(shards))
+	if err != nil {
+		return ChurnRow{}, err
+	}
+	defer eng.Close()
+	for _, q := range queries {
+		if _, err := eng.Add(q.Bound, nil); err != nil {
+			return ChurnRow{}, err
+		}
+	}
+	start := time.Now()
+	const batch = 256
+	for i := 0; i < len(d.Tuples); i += batch {
+		end := min(i+batch, len(d.Tuples))
+		if _, err := eng.ProcessBatch(d.Tuples[i:end]); err != nil {
+			return ChurnRow{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	st := eng.Stats()
+	return ChurnRow{
+		Shards:        shards,
+		Queries:       len(queries),
+		Tuples:        len(d.Tuples),
+		Throughput:    float64(len(d.Tuples)) / elapsed.Seconds(),
+		NsPerTuple:    float64(elapsed.Nanoseconds()) / float64(len(d.Tuples)),
+		Results:       st.Results,
+		Invalidations: st.Invalidations,
+		Elapsed:       elapsed,
+	}, nil
+}
+
+// Churn prints the delete/re-insert churn sweep.
+func Churn(cfg Config) error {
+	rows, err := ChurnData(cfg)
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, fmt.Sprintf(
+		"Delete/re-insert churn on the sharded engine (%d cores available)",
+		runtime.GOMAXPROCS(0)))
+	var tab [][]string
+	for _, r := range rows {
+		tab = append(tab, []string{
+			fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%.0f%%", r.DelRatio*100),
+			eps(r.Throughput),
+			fmt.Sprintf("%.2fx", r.Slowdown),
+			fmt.Sprintf("%d", r.Results),
+			fmt.Sprintf("%d", r.Invalidations),
+		})
+	}
+	table(cfg.Out, []string{"shards", "del", "tuples/s", "slowdown", "results", "invalidations"}, tab)
+	return nil
+}

@@ -70,6 +70,7 @@ func All() []Runner {
 		{"ablation", "Design-choice ablations: inverted index, tree parallelism, multi-query sharing", Ablation},
 		{"multiq", "Sharded concurrent multi-query engine: shard-count sweep (§7 + internal/shard)", MultiQ},
 		{"pipeline", "Pipelined sub-batches: barriered (depth 1) vs pipelined (depth ≥ 2) per shard count", Pipeline},
+		{"churn", "Delete/re-insert churn: support-counting deletion overhead per shard count", Churn},
 	}
 }
 

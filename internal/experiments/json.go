@@ -24,7 +24,7 @@ type JSONReport struct {
 // JSONCapable reports whether the experiment has a structured-data
 // driver (only those can be emitted with -json).
 func JSONCapable(id string) bool {
-	return id == "multiq" || id == "pipeline"
+	return id == "multiq" || id == "pipeline" || id == "churn"
 }
 
 // WriteJSON runs the experiment's data driver and writes the report to
@@ -52,8 +52,14 @@ func WriteJSON(cfg Config, id string, w io.Writer) error {
 			return err
 		}
 		report.Rows = rows
+	case "churn":
+		rows, err := ChurnData(cfg)
+		if err != nil {
+			return err
+		}
+		report.Rows = rows
 	default:
-		return fmt.Errorf("experiments: %q has no JSON driver (supported: multiq, pipeline)", id)
+		return fmt.Errorf("experiments: %q has no JSON driver (supported: multiq, pipeline, churn)", id)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -16,7 +16,7 @@ import (
 // Snapshot file format (snap-<G>.ckpt):
 //
 //	magic    "SRPQSNAP"      8 bytes
-//	version  uint8           currently 1
+//	version  uint8           currently 2
 //	payload  varint-encoded sections (see encodeSnapshot)
 //	crc32    uint32 LE       IEEE, over magic+version+payload
 //
@@ -25,8 +25,13 @@ import (
 // to the previous generation's snapshot.
 
 const (
-	snapMagic   = "SRPQSNAP"
-	snapVersion = 1
+	snapMagic = "SRPQSNAP"
+	// Version 2 added the per-tree result-support counts (see
+	// core.SupportCount). Restore recomputes them from the node lists and
+	// cross-checks against the persisted values, so they ride along as a
+	// consistency seal rather than redundant state; version-1 files
+	// predate canonical deletions and are rejected.
+	snapVersion = 2
 )
 
 // Snapshot is the full checkpointable state of a facade evaluator: the
@@ -73,6 +78,29 @@ func decodeStats(d *decoder) core.StatState {
 		ConflictsFound: d.i64(),
 		Unmarkings:     d.i64(),
 	}
+}
+
+func encodeSupport(e *encoder, sup []core.SupportCount) {
+	e.u64(uint64(len(sup)))
+	for _, sc := range sup {
+		e.u64(uint64(sc.V))
+		e.u64(uint64(uint32(sc.N)))
+	}
+}
+
+func decodeSupport(d *decoder) []core.SupportCount {
+	n := d.count(2)
+	if n == 0 {
+		return nil
+	}
+	sup := make([]core.SupportCount, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		sup = append(sup, core.SupportCount{
+			V: stream.VertexID(d.u64()),
+			N: int32(uint32(d.u64())),
+		})
+	}
+	return sup
 }
 
 func encodeWinState(e *encoder, st window.State) {
@@ -141,6 +169,7 @@ func encodeRAPQState(e *encoder, st *core.RAPQState) {
 			e.u64(uint64(n.ParentV))
 			e.u64(uint64(uint32(n.ParentS)))
 		}
+		encodeSupport(e, tr.Support)
 	}
 }
 
@@ -165,6 +194,7 @@ func decodeRAPQState(d *decoder) *core.RAPQState {
 				ParentS: int32(uint32(d.u64())),
 			})
 		}
+		tr.Support = decodeSupport(d)
 		st.Trees = append(st.Trees, tr)
 	}
 	return st
@@ -191,6 +221,7 @@ func encodeRSPQState(e *encoder, st *core.RSPQState) {
 		for _, mk := range tr.Marked {
 			e.u64(mk)
 		}
+		encodeSupport(e, tr.Support)
 	}
 }
 
@@ -219,6 +250,7 @@ func decodeRSPQState(d *decoder) *core.RSPQState {
 		for j := 0; j < nmarked && d.err == nil; j++ {
 			tr.Marked = append(tr.Marked, d.u64())
 		}
+		tr.Support = decodeSupport(d)
 		st.Trees = append(st.Trees, tr)
 	}
 	return st
@@ -415,8 +447,9 @@ const (
 )
 
 const (
-	engineMagic   = "SRPQENGS"
-	engineVersion = 1
+	engineMagic = "SRPQENGS"
+	// Bumped alongside snapVersion: tree states now carry support counts.
+	engineVersion = 2
 )
 
 // EngineSnapshot is a standalone engine checkpoint.

@@ -51,21 +51,23 @@
 //
 // Under this discipline the sharded engine produces, per query, the
 // result stream of the sequential core.Multi coordinator, at any
-// pipeline depth. On append-only streams (window expiry included) the
-// agreement is exact: identical match multisets with identical
-// Match.TS values, and two runs over the same stream yield
-// byte-identical merged result sequences (only the attribution of a
-// match to a tuple inside one timestamp tie-group can shift,
-// deterministically). With explicit deletions, the *pair* sets still
-// agree exactly, but the multiplicity of re-discovery matches and the
-// invalidation report depend on the incidental spanning-tree shape —
-// which parent a node happens to hang off among equal-timestamp
-// alternatives — because the paper's Algorithm Delete cuts subtrees
-// along tree edges (Definition 13). That shape is map-iteration
-// dependent in the sequential engines too; it is inherent to the
-// algorithm, not an artifact of sharding. Merged results are returned
-// in a canonical order (tuple index, query registration index, matches
-// before invalidations, then (From, To, TS)).
+// pipeline depth — on arbitrary update streams, explicit deletions
+// included. The member engines emit on liveness transitions backed by
+// support counting (a match exactly when a (root, v) pair gains its
+// first in-window final-state witness, an invalidation exactly when a
+// deletion removes the last one), so the full result stream —
+// invalidations and their multiplicities included — is a pure function
+// of the input stream, independent of incidental spanning-tree shape
+// (the paper's Algorithm Delete cuts along tree edges, but which
+// witnesses a cut removes can no longer change what is reported). Two
+// runs over the same stream therefore yield byte-identical merged
+// result sequences; only the attribution of a match to a tuple inside
+// one timestamp tie-group can differ from the tuple-at-a-time
+// sequential engine (the sub-batch's same-timestamp edges are already
+// visible), and even that attribution is deterministic across sharded
+// runs and configurations. Merged results are returned in a canonical
+// order (tuple index, query registration index, matches before
+// invalidations, then (From, To, TS)).
 //
 // # Errors
 //

@@ -34,25 +34,31 @@ type MultiEvaluator struct {
 }
 
 type multiMember struct {
-	query *Query
-	bound *automaton.Bound
-	batch []Match // per-Ingest scratch of the sequential backend
+	query    *Query
+	bound    *automaton.Bound
+	batch    []Match // per-Ingest scratch of the sequential backend
+	invBatch []Match // per-Ingest invalidation scratch
 }
 
 // QueryResult couples one registered query with the matches the last
-// Ingest produced for it.
+// Ingest produced for it, plus the previously reported results an
+// explicit deletion retracted. Both streams are deterministic: the full
+// result sequence, invalidations included, is a pure function of the
+// input stream (see README "Determinism & deletions").
 type QueryResult struct {
-	Query   *Query
-	Matches []Match
+	Query         *Query
+	Matches       []Match
+	Invalidations []Match // results retracted by an explicit deletion
 }
 
-// BatchResult couples one registered query with the matches one tuple
-// of an IngestBatch produced for it. Tuple is the index into the
-// ingested batch.
+// BatchResult couples one registered query with the matches (and
+// deletion-triggered invalidations) one tuple of an IngestBatch
+// produced for it. Tuple is the index into the ingested batch.
 type BatchResult struct {
-	Tuple   int
-	Query   *Query
-	Matches []Match
+	Tuple         int
+	Query         *Query
+	Matches       []Match
+	Invalidations []Match // results retracted by an explicit deletion
 }
 
 // NewMultiEvaluator creates a shared evaluator. Register the queries,
@@ -96,6 +102,9 @@ func (m *MultiEvaluator) addQuery(q *Query) error {
 	sink := core.FuncSink{
 		Match: func(cm core.Match) {
 			member.batch = append(member.batch, m.decode(cm))
+		},
+		Invalidate: func(cm core.Match) {
+			member.invBatch = append(member.invBatch, m.decode(cm))
 		},
 	}
 	if _, err := m.multi.Add(member.bound, core.WithSink(sink)); err != nil {
@@ -256,16 +265,16 @@ func (m *MultiEvaluator) Ingest(t Tuple) ([]QueryResult, error) {
 		}
 		var out []QueryResult
 		for _, r := range results {
-			if r.Invalidated {
-				continue
-			}
 			match := m.decode(r.Match)
-			q := m.queries[r.Query]
-			if n := len(out); n > 0 && out[n-1].Query == q.query {
-				out[n-1].Matches = append(out[n-1].Matches, match)
+			q := m.queries[r.Query].query
+			if n := len(out); n == 0 || out[n-1].Query != q {
+				out = append(out, QueryResult{Query: q})
+			}
+			qr := &out[len(out)-1]
+			if r.Invalidated {
+				qr.Invalidations = append(qr.Invalidations, match)
 			} else {
-				q.batch = append(q.batch[:0], match)
-				out = append(out, QueryResult{Query: q.query, Matches: q.batch})
+				qr.Matches = append(qr.Matches, match)
 			}
 		}
 		return out, nil
@@ -273,12 +282,13 @@ func (m *MultiEvaluator) Ingest(t Tuple) ([]QueryResult, error) {
 
 	for _, member := range m.queries {
 		member.batch = member.batch[:0]
+		member.invBatch = member.invBatch[:0]
 	}
 	m.multi.Process(m.encode(t))
 	var out []QueryResult
 	for _, member := range m.queries {
-		if len(member.batch) > 0 {
-			out = append(out, QueryResult{Query: member.query, Matches: member.batch})
+		if len(member.batch) > 0 || len(member.invBatch) > 0 {
+			out = append(out, QueryResult{Query: member.query, Matches: member.batch, Invalidations: member.invBatch})
 		}
 	}
 	return out, nil
@@ -349,15 +359,16 @@ func (m *MultiEvaluator) ingestEncoded(encoded []stream.Tuple) ([]BatchResult, e
 		m.lastTS = last
 		var out []BatchResult
 		for _, r := range results {
-			if r.Invalidated {
-				continue
-			}
 			match := m.decode(r.Match)
 			q := m.queries[r.Query].query
-			if n := len(out); n > 0 && out[n-1].Tuple == r.Tuple && out[n-1].Query == q {
-				out[n-1].Matches = append(out[n-1].Matches, match)
+			if n := len(out); n == 0 || out[n-1].Tuple != r.Tuple || out[n-1].Query != q {
+				out = append(out, BatchResult{Tuple: r.Tuple, Query: q})
+			}
+			br := &out[len(out)-1]
+			if r.Invalidated {
+				br.Invalidations = append(br.Invalidations, match)
 			} else {
-				out = append(out, BatchResult{Tuple: r.Tuple, Query: q, Matches: []Match{match}})
+				br.Matches = append(br.Matches, match)
 			}
 		}
 		return out, nil
@@ -367,15 +378,21 @@ func (m *MultiEvaluator) ingestEncoded(encoded []stream.Tuple) ([]BatchResult, e
 	for i, t := range encoded {
 		for _, member := range m.queries {
 			member.batch = member.batch[:0]
+			member.invBatch = member.invBatch[:0]
 		}
 		m.multi.Process(t)
 		m.started = true
 		m.lastTS = t.TS
 		for _, member := range m.queries {
-			if len(member.batch) > 0 {
-				matches := make([]Match, len(member.batch))
-				copy(matches, member.batch)
-				out = append(out, BatchResult{Tuple: i, Query: member.query, Matches: matches})
+			if len(member.batch) > 0 || len(member.invBatch) > 0 {
+				br := BatchResult{Tuple: i, Query: member.query}
+				if len(member.batch) > 0 {
+					br.Matches = append([]Match(nil), member.batch...)
+				}
+				if len(member.invBatch) > 0 {
+					br.Invalidations = append([]Match(nil), member.invBatch...)
+				}
+				out = append(out, br)
 			}
 		}
 	}

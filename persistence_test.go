@@ -27,63 +27,90 @@ func persistTestQueries(t testing.TB) []*Query {
 	return qs
 }
 
-// persistTestStream generates an append-only random stream over string
-// vertices, pre-split into batches.
-func persistTestStream(seed int64, n, batch int) [][]Tuple {
+// persistChurnStream generates a random stream over string vertices,
+// pre-split into batches; delRatio is the probability that a tuple
+// re-deletes a previously inserted edge.
+func persistChurnStream(seed int64, n, batch int, delRatio float64) [][]Tuple {
 	rng := rand.New(rand.NewSource(seed))
 	labels := []string{"a", "b", "noise"}
 	var ts int64
 	var batches [][]Tuple
+	var inserted []Tuple
 	for i := 0; i < n; i += batch {
 		var cur []Tuple
 		for j := 0; j < batch && i+j < n; j++ {
 			ts += rng.Int63n(3)
-			cur = append(cur, Tuple{
+			if len(inserted) > 0 && rng.Float64() < delRatio {
+				old := inserted[rng.Intn(len(inserted))]
+				cur = append(cur, Tuple{TS: ts, Src: old.Src, Dst: old.Dst, Label: old.Label, Delete: true})
+				continue
+			}
+			tu := Tuple{
 				TS:    ts,
 				Src:   fmt.Sprintf("v%d", rng.Intn(9)),
 				Dst:   fmt.Sprintf("v%d", rng.Intn(9)),
 				Label: labels[rng.Intn(len(labels))],
-			})
+			}
+			cur = append(cur, tu)
+			inserted = append(inserted, tu)
 		}
 		batches = append(batches, cur)
 	}
 	return batches
 }
 
+// persistTestStream generates an append-only random stream over string
+// vertices, pre-split into batches.
+func persistTestStream(seed int64, n, batch int) [][]Tuple {
+	return persistChurnStream(seed, n, batch, 0)
+}
+
 // flatResult is one result in the flattened, comparable form of a
-// result stream: everything that identifies it, timestamps included.
+// result stream: everything that identifies it, timestamps and
+// invalidations included.
 type flatResult struct {
 	Batch int
 	Tuple int
 	Query string
+	Inval bool
 	From  string
 	To    string
 	TS    int64
 }
 
 // flatten appends the results of one ingested batch. canon sorts the
-// matches within each (tuple, query) group — needed for the sequential
-// backend, whose within-group emission order is map-iteration dependent
-// (the sharded backend already merges canonically).
+// matches (and invalidations) within each (tuple, query) group —
+// needed for the sequential backend, whose within-group emission order
+// follows engine traversal order (the sharded backend already merges
+// canonically).
 func flatten(dst []flatResult, batchIdx int, brs []BatchResult, canon bool) []flatResult {
-	for _, br := range brs {
-		ms := br.Matches
-		if canon {
-			ms = append([]Match(nil), ms...)
-			sort.Slice(ms, func(i, j int) bool {
-				if ms[i].From != ms[j].From {
-					return ms[i].From < ms[j].From
-				}
-				if ms[i].To != ms[j].To {
-					return ms[i].To < ms[j].To
-				}
-				return ms[i].TS < ms[j].TS
-			})
+	sortMatches := func(ms []Match) []Match {
+		if !canon {
+			return ms
 		}
-		for _, m := range ms {
+		ms = append([]Match(nil), ms...)
+		sort.Slice(ms, func(i, j int) bool {
+			if ms[i].From != ms[j].From {
+				return ms[i].From < ms[j].From
+			}
+			if ms[i].To != ms[j].To {
+				return ms[i].To < ms[j].To
+			}
+			return ms[i].TS < ms[j].TS
+		})
+		return ms
+	}
+	for _, br := range brs {
+		for _, m := range sortMatches(br.Matches) {
 			dst = append(dst, flatResult{
 				Batch: batchIdx, Tuple: br.Tuple, Query: br.Query.String(),
 				From: m.From, To: m.To, TS: m.TS,
+			})
+		}
+		for _, m := range sortMatches(br.Invalidations) {
+			dst = append(dst, flatResult{
+				Batch: batchIdx, Tuple: br.Tuple, Query: br.Query.String(),
+				Inval: true, From: m.From, To: m.To, TS: m.TS,
 			})
 		}
 	}
@@ -107,7 +134,10 @@ func TestKillRecoverDifferential(t *testing.T) {
 	} {
 		shards, depth := cfg.shards, cfg.depth
 		t.Run(fmt.Sprintf("shards=%d/depth=%d", shards, depth), func(t *testing.T) {
-			batches := persistTestStream(2026, 360, 16)
+			// Delete/re-insert churn puts the crash point mid-churn: the
+			// recovered engines' support counts (snapshot format v2) must
+			// reproduce the invalidation stream exactly.
+			batches := persistChurnStream(2026, 360, 16, 0.15)
 			canon := shards == 0
 			build := func() *MultiEvaluator {
 				m, err := NewMultiEvaluator(20, 2, persistTestQueries(t)...)
@@ -137,6 +167,16 @@ func TestKillRecoverDifferential(t *testing.T) {
 					t.Fatal(err)
 				}
 				want = flatten(want, i, brs, canon)
+			}
+			hasInval := false
+			for _, r := range want {
+				if r.Inval {
+					hasInval = true
+					break
+				}
+			}
+			if !hasInval {
+				t.Fatal("churn stream produced no invalidations; deletion coverage is vacuous")
 			}
 
 			// Persisted run with a mid-stream kill.
