@@ -101,6 +101,20 @@ type MemberEngine interface {
 	// RestoreState rebuilds the Δ index from a checkpoint. Only legal on
 	// a freshly constructed member before any Apply call.
 	RestoreState(*RAPQState) error
+	// SetSink redirects the engine's result stream (nil discards). A
+	// dynamically registered member bootstraps into a discard sink, then
+	// gets the coordinator's capture sink installed at activation.
+	SetSink(s Sink)
+	// BootstrapFromGraph builds the Δ index of a fresh engine from the
+	// window content visible at one epoch of the shared graph; see
+	// RAPQ.BootstrapFromGraph.
+	BootstrapFromGraph(g *graph.Graph, ep graph.Epoch)
+	// AlignClock advances the engine's stream clock to now if it is
+	// behind. After a window bootstrap this re-creates the clock a
+	// from-start engine would hold when the newest relevant tuple is no
+	// longer in the window (deleted or expired): the edge is gone, the
+	// clock survives.
+	AlignClock(now int64)
 }
 
 // Stats captures the internal state sizes and costs the paper reports

@@ -16,16 +16,32 @@ import (
 // Sharing model: the window content G_{W,τ} is query-independent, so
 // it is stored once; each member query keeps its own Δ tree index and
 // result sink. A tuple is ingested into the shared graph if its label
-// is relevant to at least one member, and each member whose alphabet
-// contains the label updates its own index. All members must share the
-// same window specification (the snapshot is common).
+// is relevant to at least one member (or unconditionally in retain-all
+// mode, see SetRetainAll), and each member whose alphabet contains the
+// label updates its own index. All members must share the same window
+// specification (the snapshot is common).
+//
+// The member slice may contain nil tombstones: Remove detaches a query
+// without renumbering the survivors, so registration order — which the
+// deterministic result merge depends on — stays stable for the
+// lifetime of the coordinator.
 type Multi struct {
 	g       *graph.Graph
 	win     *window.Manager
-	members []*RAPQ
+	members []*RAPQ // nil entries are removed members
 	now     int64
 	seen    int64
 	dropped int64
+
+	// retain-all mode: the graph stores every label, not just the union
+	// of the registered alphabets, so a query registered later can
+	// bootstrap its Δ index from the live window (AddDynamic). labelTS
+	// records, per label, the timestamp of the last graph mutation that
+	// carried it — exactly the stream clock a member registered from the
+	// start would hold, since members advance their clock on every
+	// routed (relevant) insert and successful delete.
+	retain  bool
+	labelTS []int64
 }
 
 // NewMulti creates a multi-query evaluator with the shared window
@@ -40,19 +56,34 @@ func NewMulti(spec window.Spec) (*Multi, error) {
 	}, nil
 }
 
+// SetRetainAll switches the shared graph to retain-all mode: every
+// tuple mutates the graph even when no registered query's alphabet
+// contains its label. This is the prerequisite for AddDynamic — a
+// query registered mid-stream replays the live window through its
+// fresh Δ index, which only works if the window was retained in full.
+// Must be set before the first tuple (the graph content must reflect
+// the mode from stream start).
+func (m *Multi) SetRetainAll(on bool) error {
+	if m.seen > 0 {
+		return fmt.Errorf("core: SetRetainAll after processing started")
+	}
+	m.retain = on
+	return nil
+}
+
+// RetainAll reports whether the shared graph stores every label.
+func (m *Multi) RetainAll() bool { return m.retain }
+
 // Add registers one query and returns its engine (for Stats probes).
 // All member engines share the coordinator's snapshot graph. Queries
-// must be added before the first tuple is processed.
+// must be added before the first tuple is processed; use AddDynamic to
+// register mid-stream.
 func (m *Multi) Add(a *automaton.Bound, opts ...Option) (*RAPQ, error) {
 	if m.seen > 0 {
-		return nil, fmt.Errorf("core: Multi.Add after processing started")
+		return nil, fmt.Errorf("core: Multi.Add after processing started (use AddDynamic)")
 	}
-	// All members must be bound against the same dense label space:
-	// the shared graph stores any label relevant to any member, and
-	// each member indexes its transition tables by those ids.
-	if len(m.members) > 0 && len(a.ByLabel) != m.members[0].LabelSpace() {
-		return nil, fmt.Errorf("core: label space mismatch: %d vs %d labels",
-			len(a.ByLabel), m.members[0].LabelSpace())
+	if err := m.checkLabelSpace(a); err != nil {
+		return nil, err
 	}
 	e := NewRAPQ(a, m.win.Spec(), opts...)
 	e.AttachGraph(m.g) // share the snapshot graph
@@ -60,11 +91,110 @@ func (m *Multi) Add(a *automaton.Bound, opts ...Option) (*RAPQ, error) {
 	return e, nil
 }
 
-// Len returns the number of registered queries.
-func (m *Multi) Len() int { return len(m.members) }
+// checkLabelSpace enforces the dense-label-space discipline: the shared
+// graph stores ids from one dictionary and each member indexes its
+// transition tables by them. With a static query set every member is
+// bound against the identical space; with dynamic registration the
+// space grows monotonically (later members see a larger dictionary),
+// and traversals of older members bounds-check labels beyond their
+// binding (see the ΣQ guards in rapq.go / parallel.go).
+func (m *Multi) checkLabelSpace(a *automaton.Bound) error {
+	for _, e := range m.members {
+		if e == nil {
+			continue
+		}
+		if m.retain {
+			if len(a.ByLabel) < e.LabelSpace() {
+				return fmt.Errorf("core: label space shrank: %d vs existing %d labels (bind new queries against the full dictionary)",
+					len(a.ByLabel), e.LabelSpace())
+			}
+			continue
+		}
+		if len(a.ByLabel) != e.LabelSpace() {
+			return fmt.Errorf("core: label space mismatch: %d vs %d labels",
+				len(a.ByLabel), e.LabelSpace())
+		}
+	}
+	return nil
+}
+
+// AddDynamic registers a query mid-stream. The coordinator must be in
+// retain-all mode. The new member's Δ index is bootstrapped by
+// replaying the live window content (in canonical (TS, Src, Dst,
+// Label) order) through it; matches emitted during the replay — the
+// window's current live result set — are suppressed, because they
+// correspond to results a from-start engine emitted before this point,
+// not to new stream tuples. From the next tuple on, the member emits
+// exactly what a from-start engine emits over the same suffix.
+func (m *Multi) AddDynamic(a *automaton.Bound, opts ...Option) (*RAPQ, error) {
+	if !m.retain {
+		return nil, fmt.Errorf("core: AddDynamic requires retain-all mode (SetRetainAll before the first tuple)")
+	}
+	if err := m.checkLabelSpace(a); err != nil {
+		return nil, err
+	}
+	e := NewRAPQ(a, m.win.Spec(), opts...)
+	real := e.sink
+	e.sink = discardSink{}
+	e.BootstrapFromGraph(m.g, m.g.Epoch())
+	e.sink = real
+	// Align the member's stream clock with the one a from-start engine
+	// would hold: the last timestamp that touched a relevant label (the
+	// window may have dropped the carrying edge; the clock survives).
+	for l, ts := range m.labelTS {
+		if a.Relevant(l) {
+			e.AlignClock(ts)
+		}
+	}
+	m.members = append(m.members, e)
+	return e, nil
+}
+
+// Remove detaches a member registered with Add or AddDynamic. Its slot
+// becomes a nil tombstone so surviving members keep their registration
+// index. Returns false if the engine is not a (live) member.
+func (m *Multi) Remove(target *RAPQ) bool {
+	if target == nil {
+		return false
+	}
+	for i, e := range m.members {
+		if e == target {
+			m.members[i] = nil
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of live (non-removed) queries.
+func (m *Multi) Len() int {
+	n := 0
+	for _, e := range m.members {
+		if e != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // Graph exposes the shared snapshot graph.
 func (m *Multi) Graph() *graph.Graph { return m.g }
+
+// noteLabel records the stream clock per label in retain-all mode; see
+// the labelTS field. Called for exactly the tuples that mutated the
+// graph, which are exactly the tuples a relevant member's engine clock
+// advances on.
+func (m *Multi) noteLabel(t stream.Tuple) {
+	if !m.retain || t.Label < 0 {
+		return
+	}
+	for int(t.Label) >= len(m.labelTS) {
+		m.labelTS = append(m.labelTS, 0)
+	}
+	if t.TS > m.labelTS[t.Label] {
+		m.labelTS[t.Label] = t.TS
+	}
+}
 
 // Process routes one tuple to every member whose alphabet contains its
 // label. Graph and window maintenance happen exactly once regardless
@@ -77,34 +207,40 @@ func (m *Multi) Process(t stream.Tuple) {
 	if deadline, due := m.win.Observe(t.TS); due {
 		m.g.Expire(deadline, nil)
 		for _, e := range m.members {
-			e.ApplyExpiry(deadline)
+			if e != nil {
+				e.ApplyExpiry(deadline)
+			}
 		}
 	}
 	relevant := false
 	for _, e := range m.members {
-		if e.RelevantLabel(t.Label) {
+		if e != nil && e.RelevantLabel(t.Label) {
 			relevant = true
 			break
 		}
 	}
 	if !relevant {
 		m.dropped++
-		return
+		if !m.retain {
+			return
+		}
 	}
 	if t.Op == stream.Delete {
 		if !m.g.Delete(t.Key()) {
 			return
 		}
+		m.noteLabel(t)
 		for _, e := range m.members {
-			if e.RelevantLabel(t.Label) {
+			if e != nil && e.RelevantLabel(t.Label) {
 				e.ApplyDelete(t)
 			}
 		}
 		return
 	}
 	m.g.Insert(t.Src, t.Dst, t.Label, t.TS)
+	m.noteLabel(t)
 	for _, e := range m.members {
-		if e.RelevantLabel(t.Label) {
+		if e != nil && e.RelevantLabel(t.Label) {
 			e.ApplyInsert(t)
 		}
 	}
@@ -115,6 +251,9 @@ func (m *Multi) Process(t stream.Tuple) {
 func (m *Multi) Stats() Stats {
 	var s Stats
 	for _, e := range m.members {
+		if e == nil {
+			continue
+		}
 		ms := e.Stats()
 		s.Trees += ms.Trees
 		s.Nodes += ms.Nodes

@@ -67,6 +67,18 @@ func (p *ParallelRAPQ) SetReadEpoch(ep graph.Epoch) { p.inner.epoch = ep }
 // RelevantLabel implements MemberEngine.
 func (p *ParallelRAPQ) RelevantLabel(l stream.LabelID) bool { return p.inner.RelevantLabel(l) }
 
+// SetSink delegates to the inner engine; see RAPQ.SetSink.
+func (p *ParallelRAPQ) SetSink(s Sink) { p.inner.SetSink(s) }
+
+// AlignClock delegates to the inner engine; see RAPQ.AlignClock.
+func (p *ParallelRAPQ) AlignClock(now int64) { p.inner.AlignClock(now) }
+
+// BootstrapFromGraph delegates to the inner engine's sequential replay;
+// see RAPQ.BootstrapFromGraph.
+func (p *ParallelRAPQ) BootstrapFromGraph(g *graph.Graph, ep graph.Epoch) {
+	p.inner.BootstrapFromGraph(g, ep)
+}
+
 // LabelSpace implements MemberEngine.
 func (p *ParallelRAPQ) LabelSpace() int { return p.inner.LabelSpace() }
 
@@ -267,6 +279,9 @@ func (p *ParallelRAPQ) insertConcurrent(tx *tree, parent *treeNode, v stream.Ver
 			if ts <= validFrom || ts > e.now {
 				return true
 			}
+			if l < 0 || int(l) >= len(e.a.ByLabel) {
+				return true // label bound after this member: outside its ΣQ
+			}
 			q := e.a.Trans[op.t][l]
 			if q == automaton.NoState {
 				return true
@@ -371,6 +386,9 @@ func (p *ParallelRAPQ) expireTreeConcurrent(tx *tree, deadline int64, w *treeWor
 		e.g.InAt(e.epoch, v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
 			if ts <= deadline || ts > e.now {
 				return true
+			}
+			if l < 0 || int(l) >= len(e.rev) {
+				return true // label bound after this member: outside its ΣQ
 			}
 			rt := e.rev[l]
 			if rt == nil {

@@ -158,6 +158,69 @@ func (e *RAPQ) AttachGraph(g *graph.Graph) { e.g = g }
 // the shared graph at epoch ep.
 func (e *RAPQ) SetReadEpoch(ep graph.Epoch) { e.epoch = ep }
 
+// SetSink redirects the engine's result stream. A dynamically
+// registered member swaps sinks exactly once, at activation: the
+// bootstrap replay captures the window's live result set into a scratch
+// sink, then the coordinator installs the real merge sink before the
+// member sees its first stream tuple.
+func (e *RAPQ) SetSink(s Sink) {
+	if s == nil {
+		s = discardSink{}
+	}
+	e.sink = s
+}
+
+// AlignClock implements MemberEngine.
+func (e *RAPQ) AlignClock(now int64) {
+	if now > e.now {
+		e.now = now
+	}
+}
+
+// BootstrapFromGraph builds the Δ index of a freshly created engine
+// from the window content visible at epoch ep of g: the edges are
+// replayed in canonical (TS, Src, Dst, Label) order through ApplyInsert,
+// which reproduces the engine's canonical node timestamps and witness
+// sets for the retained window — re-insertion refreshes and deleted
+// edges have already been folded into the stored timestamps, and both
+// folds agree with the max-min fixpoint an engine fed the full stream
+// would have converged to. Matches emitted during the replay are the
+// window's current live result set (they flow to the engine's sink);
+// they correspond to results an engine registered from stream start
+// would have emitted earlier, not to new stream tuples.
+//
+// The caller must hold a reader lease on ep (graph.AcquireEpoch) for
+// the duration of the call if a writer may be advancing later epochs
+// concurrently. The engine reads at ep until the next SetReadEpoch.
+func (e *RAPQ) BootstrapFromGraph(g *graph.Graph, ep graph.Epoch) {
+	e.g = g
+	e.epoch = ep
+	var edges []graph.Edge
+	g.EdgesAt(ep, func(ed graph.Edge) bool {
+		edges = append(edges, ed)
+		return true
+	})
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Label < b.Label
+	})
+	for _, ed := range edges {
+		if !e.a.Relevant(int(ed.Label)) {
+			continue
+		}
+		e.ApplyInsert(stream.Tuple{TS: ed.TS, Src: ed.Src, Dst: ed.Dst, Label: ed.Label})
+	}
+}
+
 // RelevantLabel reports whether the label is in the query alphabet ΣQ;
 // coordinators route tuples only to engines for which it is.
 func (e *RAPQ) RelevantLabel(l stream.LabelID) bool { return e.a.Relevant(int(l)) }
@@ -387,6 +450,9 @@ func (e *RAPQ) insert(tx *tree, parent *treeNode, v stream.VertexID, t int32, ed
 			if ts <= validFrom || ts > e.now {
 				return true // expired or not-yet-arrived: not in W_{G,τ}
 			}
+			if l < 0 || int(l) >= len(e.a.ByLabel) {
+				return true // label bound after this member: outside its ΣQ
+			}
 			q := e.a.Trans[op.t][l]
 			if q == automaton.NoState {
 				return true
@@ -511,6 +577,9 @@ func (e *RAPQ) expireTree(tx *tree, deadline int64, invalidate bool) {
 		e.g.InAt(e.epoch, v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
 			if ts <= deadline || ts > e.now {
 				return true // expired, or not yet arrived (batched graph)
+			}
+			if l < 0 || int(l) >= len(byTarget) {
+				return true // label bound after this member: outside its ΣQ
 			}
 			rt := byTarget[l]
 			if rt == nil {

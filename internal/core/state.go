@@ -399,6 +399,13 @@ type MultiState struct {
 	Win     window.State
 	Edges   []graph.Edge
 	Members []*RAPQState
+
+	// Retain-all / dynamic-registration state (zero for static query
+	// sets, so pre-dynamic checkpoints decode unchanged): whether the
+	// graph stores every label, and the per-label stream clocks that
+	// align a dynamically registered member with a from-start engine.
+	Retain  bool
+	LabelTS []int64
 }
 
 // SnapshotEdges returns the graph's live edges sorted by (TS, Src, Dst,
@@ -448,9 +455,13 @@ func (m *Multi) SnapshotState() *MultiState {
 		Dropped: m.dropped,
 		Win:     m.win.State(),
 		Edges:   SnapshotEdges(m.g),
+		Retain:  m.retain,
+		LabelTS: append([]int64(nil), m.labelTS...),
 	}
 	for _, e := range m.members {
-		st.Members = append(st.Members, e.SnapshotState())
+		if e != nil {
+			st.Members = append(st.Members, e.SnapshotState())
+		}
 	}
 	return st
 }
@@ -462,9 +473,15 @@ func (m *Multi) RestoreState(st *MultiState) error {
 	if m.seen != 0 {
 		return fmt.Errorf("core: Multi.RestoreState after processing started")
 	}
-	if len(st.Members) != len(m.members) {
+	live := 0
+	for _, e := range m.members {
+		if e != nil {
+			live++
+		}
+	}
+	if len(st.Members) != live {
 		return fmt.Errorf("core: restore: snapshot has %d members, coordinator has %d",
-			len(st.Members), len(m.members))
+			len(st.Members), live)
 	}
 	if err := RestoreEdges(m.g, st.Edges); err != nil {
 		return err
@@ -473,10 +490,17 @@ func (m *Multi) RestoreState(st *MultiState) error {
 	m.seen = st.Seen
 	m.dropped = st.Dropped
 	m.win.SetState(st.Win)
-	for i, e := range m.members {
+	m.retain = st.Retain
+	m.labelTS = append([]int64(nil), st.LabelTS...)
+	i := 0
+	for _, e := range m.members {
+		if e == nil {
+			continue
+		}
 		if err := e.RestoreState(st.Members[i]); err != nil {
 			return fmt.Errorf("core: restore member %d: %w", i, err)
 		}
+		i++
 	}
 	return nil
 }

@@ -502,6 +502,27 @@ func (g *Graph) Edges(f func(e Edge) bool) {
 	}
 }
 
+// EdgesAt calls f for every edge visible at epoch e. A reader holding a
+// lease on e (AcquireEpoch) may iterate concurrently with the single
+// writer advancing later epochs — this is how a dynamically registered
+// query bootstraps its Δ index from the live window without pausing
+// ingest. Returning false stops the iteration early.
+func (g *Graph) EdgesAt(e Epoch, f func(ed Edge) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for src, om := range g.out {
+		for k, c := range om {
+			v, ok := c.at(e)
+			if !ok {
+				continue
+			}
+			if !f(Edge{Src: src, Dst: k.vertex(), Label: k.label(), TS: v.ts}) {
+				return
+			}
+		}
+	}
+}
+
 // Vertices calls f for every vertex incident to at least one edge live
 // at the current epoch.
 func (g *Graph) Vertices(f func(v stream.VertexID) bool) {

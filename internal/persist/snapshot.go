@@ -30,8 +30,11 @@ const (
 	// core.SupportCount). Restore recomputes them from the node lists and
 	// cross-checks against the persisted values, so they ride along as a
 	// consistency seal rather than redundant state; version-1 files
-	// predate canonical deletions and are rejected.
-	snapVersion = 2
+	// predate canonical deletions and are rejected. Version 3 added the
+	// retain-all flag and the per-label stream clocks that dynamic query
+	// registration needs (core.MultiState.Retain/LabelTS); older
+	// versions are rejected, as before.
+	snapVersion = 3
 )
 
 // Snapshot is the full checkpointable state of a facade evaluator: the
@@ -266,6 +269,11 @@ func encodeMultiState(e *encoder, st *core.MultiState) {
 	for _, m := range st.Members {
 		encodeRAPQState(e, m)
 	}
+	e.bool(st.Retain)
+	e.u64(uint64(len(st.LabelTS)))
+	for _, ts := range st.LabelTS {
+		e.i64(ts)
+	}
 }
 
 func decodeMultiState(d *decoder) *core.MultiState {
@@ -279,6 +287,11 @@ func decodeMultiState(d *decoder) *core.MultiState {
 	nmembers := d.count(2)
 	for i := 0; i < nmembers && d.err == nil; i++ {
 		st.Members = append(st.Members, decodeRAPQState(d))
+	}
+	st.Retain = d.bool()
+	nlabels := d.count(1)
+	for i := 0; i < nlabels && d.err == nil; i++ {
+		st.LabelTS = append(st.LabelTS, d.i64())
 	}
 	return st
 }

@@ -1,0 +1,59 @@
+package serve
+
+// replayRing is the bounded in-memory window of recently published
+// records that backs subscriber reattachment. Records are appended in
+// sequence order and evicted from the front when the capacity is
+// exceeded; floor tracks the position of the newest record ever
+// dropped (or, after a process restart, of everything published by the
+// previous process), so the broker can distinguish "replayable gap"
+// from "gap truncated away" (410 Gone).
+//
+// This is a deliberate deviation from a WAL-backed replay: reattach
+// within the window is exact and cheap, reattach beyond it fails fast
+// with Gone and the client re-syncs, and the serving layer never reads
+// the persistence directory.
+type replayRing struct {
+	recs  []Record
+	cap   int
+	floor Seq // every record at or before this position is unavailable
+}
+
+func newReplayRing(capacity int, floor Seq) *replayRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &replayRing{cap: capacity, floor: floor}
+}
+
+// append adds records (already in sequence order) and evicts from the
+// front to stay within capacity.
+func (r *replayRing) append(recs ...Record) {
+	r.recs = append(r.recs, recs...)
+	if n := len(r.recs) - r.cap; n > 0 {
+		r.floor = r.recs[n-1].seq
+		r.recs = append(r.recs[:0], r.recs[n:]...)
+	}
+}
+
+// since returns the retained records strictly after from, or ok=false
+// when records in (from, floor] were truncated away.
+func (r *replayRing) since(from Seq) (recs []Record, ok bool) {
+	if from.Less(r.floor) {
+		return nil, false
+	}
+	// Binary search would do; the ring is small and append-ordered.
+	i := 0
+	for i < len(r.recs) && !from.Less(r.recs[i].seq) {
+		i++
+	}
+	return r.recs[i:], true
+}
+
+// tail returns the position of the newest retained record, or the
+// floor when the ring is empty.
+func (r *replayRing) tail() Seq {
+	if n := len(r.recs); n > 0 {
+		return r.recs[n-1].seq
+	}
+	return r.floor
+}

@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"streamrpq"
+)
+
+// Server is the HTTP front of a Broker. Endpoints:
+//
+//	POST   /ingest        text lines "ts src dst label [+|-]" = one batch
+//	POST   /subscribe     NDJSON result stream; body/URL select filter + resume token
+//	GET    /queries       live registrations
+//	POST   /queries       {"pattern": "..."} → {"id": n}
+//	DELETE /queries/{id}  online removal
+//	GET    /metrics       Prometheus text format
+//	GET    /healthz       200 while serving, 503 draining/poisoned
+//
+// The result stream is NDJSON: one Record per line, each carrying its
+// resume token. A client that remembers the last token it processed
+// reattaches with ?from=<token> (or "from" in the JSON body) and
+// receives the byte-identical continuation.
+type Server struct {
+	broker *Broker
+	mux    *http.ServeMux
+	http   *http.Server
+}
+
+// NewServer wraps an evaluator in a broker and its HTTP handler.
+func NewServer(ev *streamrpq.MultiEvaluator, cfg BrokerConfig) (*Server, error) {
+	b, err := NewBroker(ev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{broker: b, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /subscribe", s.handleSubscribe)
+	s.mux.HandleFunc("GET /queries", s.handleListQueries)
+	s.mux.HandleFunc("POST /queries", s.handleAddQuery)
+	s.mux.HandleFunc("DELETE /queries/{id}", s.handleRemoveQuery)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.http = &http.Server{Handler: s.mux}
+	return s, nil
+}
+
+// Broker exposes the underlying broker (tests drive it directly).
+func (s *Server) Broker() *Broker { return s.broker }
+
+// Handler returns the route table (for httptest servers).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
+
+// Shutdown drains the server: the broker stops accepting work and
+// terminates every subscriber stream with a final EOF record (taking a
+// checkpoint when persistence is on), then the HTTP server waits for
+// the handlers to flush those records, bounded by ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.broker.Shutdown()
+	if herr := s.http.Shutdown(ctx); err == nil {
+		err = herr
+	}
+	return err
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// brokerError maps broker sentinel errors onto status codes.
+func brokerError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrShutdown):
+		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrGone):
+		httpError(w, http.StatusGone, err)
+	case errors.Is(err, ErrFuture):
+		httpError(w, http.StatusBadRequest, err)
+	case strings.Contains(err.Error(), "out-of-order"):
+		httpError(w, http.StatusBadRequest, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var tuples []streamrpq.Tuple
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		t, err := streamrpq.ParseTuple(text)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("line %d: %w", line, err))
+			return
+		}
+		tuples = append(tuples, t)
+	}
+	if err := sc.Err(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := s.broker.Ingest(tuples)
+	if err != nil {
+		brokerError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
+}
+
+// subscribeRequest is the optional JSON body of POST /subscribe. The
+// URL query parameters "from", "id" (repeatable) and "pattern"
+// (repeatable) are merged in, with the body taking precedence for
+// "from".
+type subscribeRequest struct {
+	From     string   `json:"from,omitempty"`
+	IDs      []int    `json:"ids,omitempty"`
+	Patterns []string `json:"patterns,omitempty"`
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	var req subscribeRequest
+	if body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20)); err == nil && len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad subscribe body: %w", err))
+			return
+		}
+	}
+	q := r.URL.Query()
+	if req.From == "" {
+		req.From = q.Get("from")
+	}
+	for _, v := range q["id"] {
+		id, err := strconv.Atoi(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad id %q", v))
+			return
+		}
+		req.IDs = append(req.IDs, id)
+	}
+	req.Patterns = append(req.Patterns, q["pattern"]...)
+
+	var from *Seq
+	if req.From != "" {
+		seq, err := ParseToken(req.From)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		from = &seq
+	}
+	sub, err := s.broker.Subscribe(req.IDs, req.Patterns, from)
+	if err != nil {
+		brokerError(w, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush() // commit headers before the first (possibly distant) record
+	}
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	for {
+		select {
+		case rec, ok := <-sub.ch:
+			if !ok {
+				if sub.final != nil {
+					enc.Encode(sub.final)
+				}
+				return
+			}
+			if err := enc.Encode(rec); err != nil {
+				s.broker.Unsubscribe(sub)
+				return
+			}
+			// Flush per record only when the buffer has drained: a replay
+			// burst coalesces into large writes, live records go out
+			// immediately.
+			if fl != nil && len(sub.ch) == 0 {
+				fl.Flush()
+			}
+		case <-ctx.Done():
+			s.broker.Unsubscribe(sub)
+			return
+		}
+	}
+}
+
+func (s *Server) handleListQueries(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.broker.Queries())
+}
+
+func (s *Server) handleAddQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Pattern string `json:"pattern"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad query body: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.Pattern) == "" {
+		httpError(w, http.StatusBadRequest, errors.New("serve: empty pattern"))
+		return
+	}
+	id, err := s.broker.AddQuery(req.Pattern)
+	if err != nil {
+		if errors.Is(err, ErrShutdown) {
+			httpError(w, http.StatusServiceUnavailable, err)
+		} else {
+			httpError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"id": id, "pattern": req.Pattern})
+}
+
+func (s *Server) handleRemoveQuery(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad query id %q", r.PathValue("id")))
+		return
+	}
+	if err := s.broker.RemoveQuery(id); err != nil {
+		if errors.Is(err, ErrShutdown) {
+			httpError(w, http.StatusServiceUnavailable, err)
+		} else {
+			httpError(w, http.StatusNotFound, err)
+		}
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.broker.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "rpq_batches_total %d\n", m.Batches)
+	fmt.Fprintf(w, "rpq_tuples_total %d\n", m.Tuples)
+	fmt.Fprintf(w, "rpq_records_published_total %d\n", m.Published)
+	fmt.Fprintf(w, "rpq_subscribers %d\n", m.Subscribers)
+	fmt.Fprintf(w, "rpq_subscriber_evictions_total %d\n", m.Evictions)
+	fmt.Fprintf(w, "rpq_queries %d\n", m.Queries)
+	fmt.Fprintf(w, "rpq_window_edges %d\n", m.Edges)
+	fmt.Fprintf(w, "rpq_results_total %d\n", m.Results)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if err := s.broker.Healthy(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	io.WriteString(w, "ok\n")
+}

@@ -152,11 +152,42 @@ type Engine struct {
 	closed  bool
 	err     error // sticky: first internal failure; engine is poisoned
 
+	// retain-all mode (see SetRetainAll): the graph stores every label
+	// so AddDynamic can bootstrap a new query from the live window.
+	// labelTS holds the per-label stream clocks (see core.Multi).
+	retain  bool
+	labelTS []int64
+
+	// pending holds members registered with AddDynamic whose background
+	// window bootstrap has not yet been joined; catch accumulates the
+	// sub-batches dispatched since the oldest registration (with their
+	// epochs) so the member can replay exactly what it missed. Both are
+	// settled by finishPending at the next consistency point.
+	pending []*pendingMember
+	catch   []catchJob
+
 	wg       sync.WaitGroup
 	inflight []inflightSub // dispatched, uncollected sub-batches (≤ depth)
 	stepPool [][]step      // recycled step slices of collected sub-batches
 	tagged   []Result
 	results  []Result
+}
+
+// pendingMember is a dynamically registered query between AddDynamic
+// and activation: its Δ index is being bootstrapped from the window
+// content at epoch (under a reader lease) on a background goroutine.
+type pendingMember struct {
+	mb    *member
+	epoch graph.Epoch   // bootstrap epoch; leased until activation
+	done  chan struct{} // closed when the background replay finishes
+	err   error         // recovered bootstrap panic, if any
+}
+
+// catchJob is one dispatched sub-batch retained (steps copied, epoch
+// recorded) for pending members to replay at activation.
+type catchJob struct {
+	epoch graph.Epoch
+	steps []step
 }
 
 // inflightSub is one dispatched sub-batch awaiting collection.
@@ -265,8 +296,32 @@ func (s *Engine) NumShards() int { return len(s.workers) }
 // PipelineDepth returns the configured bound on in-flight sub-batches.
 func (s *Engine) PipelineDepth() int { return s.depth }
 
-// Len returns the number of registered queries.
-func (s *Engine) Len() int { return len(s.members) }
+// Len returns the number of live (non-removed) queries.
+func (s *Engine) Len() int {
+	n := 0
+	for _, mb := range s.members {
+		if mb != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// SetRetainAll switches the shared graph to retain-all mode: every
+// tuple mutates the graph even when no registered query's alphabet
+// contains its label. Prerequisite for AddDynamic (a mid-stream query
+// replays the live window, which must have been retained in full).
+// Must be set before the first batch.
+func (s *Engine) SetRetainAll(on bool) error {
+	if s.started || s.seen != 0 {
+		return fmt.Errorf("shard: SetRetainAll after processing started")
+	}
+	s.retain = on
+	return nil
+}
+
+// RetainAll reports whether the shared graph stores every label.
+func (s *Engine) RetainAll() bool { return s.retain }
 
 // Graph exposes the shared snapshot graph (read-only use).
 func (s *Engine) Graph() *graph.Graph { return s.g }
@@ -308,15 +363,38 @@ func (s *Engine) precheck(a *automaton.Bound) (*worker, error) {
 		return nil, fmt.Errorf("shard: Add on closed engine")
 	}
 	if s.started {
-		return nil, fmt.Errorf("shard: Add after processing started")
+		return nil, fmt.Errorf("shard: Add after processing started (use AddDynamic)")
 	}
-	// All members must be bound against the same dense label space:
-	// the shared graph stores any label relevant to any member.
-	if len(s.members) > 0 && len(a.ByLabel) != s.members[0].engine.LabelSpace() {
-		return nil, fmt.Errorf("shard: label space mismatch: %d vs %d labels",
-			len(a.ByLabel), s.members[0].engine.LabelSpace())
+	if err := s.checkLabelSpace(a); err != nil {
+		return nil, err
 	}
 	return s.workers[len(s.members)%len(s.workers)], nil
+}
+
+// checkLabelSpace enforces the dense-label-space discipline. Static
+// query sets bind every member against the identical space; in
+// retain-all (dynamic) mode the space grows monotonically — later
+// members see a larger dictionary, and older members bounds-check
+// labels beyond their binding (the ΣQ guards in core).
+func (s *Engine) checkLabelSpace(a *automaton.Bound) error {
+	for _, mb := range s.members {
+		if mb == nil {
+			continue
+		}
+		sp := mb.engine.LabelSpace()
+		if s.retain {
+			if len(a.ByLabel) < sp {
+				return fmt.Errorf("shard: label space shrank: %d vs existing %d labels (bind new queries against the full dictionary)",
+					len(a.ByLabel), sp)
+			}
+			continue
+		}
+		if len(a.ByLabel) != sp {
+			return fmt.Errorf("shard: label space mismatch: %d vs %d labels",
+				len(a.ByLabel), sp)
+		}
+	}
+	return nil
 }
 
 func (s *Engine) admit(w *worker, e core.MemberEngine, sink core.Sink) {
@@ -324,6 +402,12 @@ func (s *Engine) admit(w *worker, e core.MemberEngine, sink core.Sink) {
 	mb := &member{engine: e, sink: sink, index: len(s.members)}
 	s.members = append(s.members, mb)
 	w.members = append(w.members, mb)
+	s.noteRelevant(e)
+}
+
+// noteRelevant folds one member's alphabet into the union relevance
+// table that steers step creation.
+func (s *Engine) noteRelevant(e core.MemberEngine) {
 	for len(s.relevant) < e.LabelSpace() {
 		s.relevant = append(s.relevant, false)
 	}
@@ -332,6 +416,173 @@ func (s *Engine) admit(w *worker, e core.MemberEngine, sink core.Sink) {
 			s.relevant[l] = true
 		}
 	}
+}
+
+// AddDynamic registers one RAPQ query mid-stream and returns its
+// registration index (the stable id results carry). The engine must be
+// in retain-all mode. The new member's Δ index is bootstrapped from
+// the window content at the current epoch on a background goroutine —
+// ingest is not paused — under a reader lease that keeps every later
+// version reconstructible. Activation is deterministic: at the end of
+// the next ProcessBatch (its sub-batches are captured and replayed to
+// the member, at their original epochs, after the bootstrap joins), so
+// from its registration batch onward the member emits exactly what a
+// from-start engine emits over the same suffix. Matches emitted during
+// the bootstrap replay itself — the window's current live result set —
+// are suppressed: a from-start engine emitted them before this point.
+func (s *Engine) AddDynamic(a *automaton.Bound, sink core.Sink) (int, error) {
+	if s.closed {
+		return 0, fmt.Errorf("shard: AddDynamic on closed engine")
+	}
+	if s.err != nil {
+		return 0, s.err
+	}
+	if !s.retain {
+		return 0, fmt.Errorf("shard: AddDynamic requires retain-all mode (SetRetainAll before the first batch)")
+	}
+	if err := s.checkLabelSpace(a); err != nil {
+		return 0, err
+	}
+	e := core.NewRAPQ(a, s.spec) // default discard sink while bootstrapping
+	e.AttachGraph(s.g)
+	mb := &member{engine: e, sink: sink, index: len(s.members)}
+	s.members = append(s.members, mb)
+	// The union relevance table includes the new alphabet immediately,
+	// so every step the member needs is created (and captured for its
+	// catch-up) from this point on.
+	s.noteRelevant(e)
+	// The stream clock a from-start engine would hold now: the last
+	// timestamp that touched a relevant label, which may be newer than
+	// any surviving window edge (see labelTS).
+	var align int64
+	for l, ts := range s.labelTS {
+		if e.RelevantLabel(stream.LabelID(l)) && ts > align {
+			align = ts
+		}
+	}
+	ep := s.g.Epoch()
+	s.g.AcquireEpoch(ep)
+	p := &pendingMember{mb: mb, epoch: ep, done: make(chan struct{})}
+	s.pending = append(s.pending, p)
+	go func() {
+		defer close(p.done)
+		defer func() {
+			if r := recover(); r != nil {
+				p.err = fmt.Errorf("shard: dynamic member %d bootstrap panic: %v", mb.index, r)
+			}
+		}()
+		e.BootstrapFromGraph(s.g, ep)
+		e.AlignClock(align)
+	}()
+	return mb.index, nil
+}
+
+// RemoveDynamic detaches the query with the given registration index.
+// Call between batches: the member receives no step of any later batch.
+// Its slot becomes a nil tombstone so surviving queries keep their
+// registration indices (the canonical merge order depends on them).
+func (s *Engine) RemoveDynamic(index int) error {
+	if s.closed {
+		return fmt.Errorf("shard: RemoveDynamic on closed engine")
+	}
+	s.finishPending() // settle worker membership first
+	if s.err != nil {
+		return s.err
+	}
+	if index < 0 || index >= len(s.members) || s.members[index] == nil {
+		return fmt.Errorf("shard: RemoveDynamic: no query with index %d", index)
+	}
+	mb := s.members[index]
+	s.members[index] = nil
+	// Safe between batches: the worker goroutine only touches its member
+	// list while applying a job, and the next job send happens-after
+	// this mutation.
+	w := s.workers[index%len(s.workers)]
+	for i, wmb := range w.members {
+		if wmb == mb {
+			w.members = append(w.members[:i], w.members[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// finishPending activates every pending member: join its background
+// bootstrap, replay the sub-batches captured since registration (at
+// their original epochs), release its bootstrap lease, and attach it
+// to its shard. Runs at the end of the first ProcessBatch after
+// registration — the catch-up results merge into that batch — and from
+// SnapshotState/RemoveDynamic/Close, so every consistency point sees a
+// settled member list. Outside ProcessBatch the catch list is empty
+// (every batch settles it), so activation there emits nothing.
+func (s *Engine) finishPending() {
+	if len(s.pending) == 0 {
+		return
+	}
+	for _, p := range s.pending {
+		<-p.done
+		if p.err == nil {
+			p.err = s.catchUp(p)
+		}
+		s.g.ReleaseEpoch(p.epoch)
+		if p.err != nil {
+			if s.err == nil {
+				s.err = p.err
+			}
+			s.members[p.mb.index] = nil // never activated
+			continue
+		}
+		w := s.workers[p.mb.index%len(s.workers)]
+		p.mb.engine.SetSink(captureSink{w})
+		w.members = append(w.members, p.mb)
+	}
+	s.pending = s.pending[:0]
+	s.catch = s.catch[:0]
+}
+
+// catchUp replays the captured sub-batches through a freshly
+// bootstrapped member on the coordinator goroutine, tagging its
+// emissions for the current batch's merge. The member reads the graph
+// at each sub-batch's original epoch, kept alive by the bootstrap
+// lease, so it observes exactly the snapshots the live members did.
+func (s *Engine) catchUp(p *pendingMember) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("shard: dynamic member %d catch-up panic: %v", p.mb.index, r)
+		}
+	}()
+	cur := 0
+	e := p.mb.engine
+	e.SetSink(core.FuncSink{
+		Match: func(m core.Match) {
+			s.tagged = append(s.tagged, Result{Tuple: cur, Query: p.mb.index, Match: m})
+		},
+		Invalidate: func(m core.Match) {
+			s.tagged = append(s.tagged, Result{Tuple: cur, Query: p.mb.index, Match: m, Invalidated: true})
+		},
+	})
+	for _, jb := range s.catch {
+		e.SetReadEpoch(jb.epoch)
+		for _, st := range jb.steps {
+			if st.expire {
+				cur = st.index
+				e.ApplyExpiry(st.deadline)
+			}
+			if st.skip {
+				continue
+			}
+			if !e.RelevantLabel(st.tuple.Label) {
+				continue
+			}
+			cur = st.index
+			if st.del {
+				e.ApplyDelete(st.tuple)
+			} else {
+				e.ApplyInsert(st.tuple)
+			}
+		}
+	}
+	return nil
 }
 
 func (s *Engine) relevantLabel(l stream.LabelID) bool {
@@ -442,11 +693,26 @@ func (s *Engine) ProcessBatch(tuples []stream.Tuple) ([]Result, error) {
 		i = s.subBatch(tuples, i)
 	}
 	s.drain()
+	s.finishPending() // activate queries registered before this batch
 	if s.err != nil {
 		return nil, s.err
 	}
 	s.merge()
 	return s.results, nil
+}
+
+// noteLabel records the per-label stream clock in retain-all mode;
+// called for exactly the tuples that mutated the graph (see labelTS).
+func (s *Engine) noteLabel(t stream.Tuple) {
+	if !s.retain || t.Label < 0 {
+		return
+	}
+	for int(t.Label) >= len(s.labelTS) {
+		s.labelTS = append(s.labelTS, 0)
+	}
+	if t.TS > s.labelTS[t.Label] {
+		s.labelTS[t.Label] = t.TS
+	}
 }
 
 // getSteps returns a recycled step slice (empty, capacity preserved).
@@ -476,9 +742,10 @@ func (s *Engine) subBatch(tuples []stream.Tuple, i int) int {
 	for ; j < len(tuples); j++ {
 		t := tuples[j]
 		rel := s.relevantLabel(t.Label)
+		ins := rel || s.retain // retain-all mode stores every label
 		if j > i {
 			_, due := s.win.Peek(t.TS)
-			if due || t.Op == stream.Delete || (rel && s.g.Has(t.Key())) {
+			if due || t.Op == stream.Delete || (ins && s.g.Has(t.Key())) {
 				break // hazard: must start a fresh sub-batch
 			}
 		}
@@ -491,9 +758,11 @@ func (s *Engine) subBatch(tuples []stream.Tuple, i int) int {
 			s.g.Expire(ex.Deadline, nil)
 			st.expire, st.deadline = true, ex.Deadline
 		}
-		if rel {
+		if ins {
 			s.g.Insert(t.Src, t.Dst, t.Label, t.TS)
-		} else {
+			s.noteLabel(t)
+		}
+		if !rel {
 			s.dropped++
 			st.skip = true
 			if !st.expire {
@@ -524,12 +793,19 @@ func (s *Engine) deleteStep(t stream.Tuple, index int) {
 		s.dispatch(steps, epoch)
 		epoch = s.g.AdvanceEpoch()
 	}
-	if !s.relevantLabel(t.Label) {
+	rel := s.relevantLabel(t.Label)
+	if !rel {
 		s.dropped++
-		return
+		if !s.retain {
+			return
+		}
 	}
 	if !s.g.Delete(t.Key()) {
 		return // deleting an absent edge is a no-op
+	}
+	s.noteLabel(t)
+	if !rel {
+		return // graph updated (retain-all); no member work
 	}
 	steps := append(s.getSteps(), step{tuple: t, index: index, del: true})
 	s.dispatch(steps, epoch)
@@ -544,6 +820,11 @@ func (s *Engine) dispatch(steps []step, epoch graph.Epoch) {
 	if len(steps) == 0 {
 		s.stepPool = append(s.stepPool, steps)
 		return
+	}
+	if len(s.pending) > 0 {
+		// Pending members replay this sub-batch at activation; steps are
+		// copied because the originals recycle through the pool.
+		s.catch = append(s.catch, catchJob{epoch: epoch, steps: append([]step(nil), steps...)})
 	}
 	// The shards traverse the graph at this sub-batch's epoch until
 	// collected; register the reader before the first shard could start.
@@ -627,6 +908,9 @@ func (s *Engine) merge() {
 func (s *Engine) Stats() core.Stats {
 	var st core.Stats
 	for _, mb := range s.members {
+		if mb == nil {
+			continue
+		}
 		ms := mb.engine.Stats()
 		st.Trees += ms.Trees
 		st.Nodes += ms.Nodes
@@ -673,15 +957,20 @@ func (s *Engine) ShardStats() []core.Stats {
 // any shard count and pipeline depth can be restored at any other
 // (queries re-partition round-robin on restore).
 func (s *Engine) SnapshotState() *core.MultiState {
+	s.finishPending() // a pending bootstrap is not checkpointable state
 	st := &core.MultiState{
 		Now:     s.now,
 		Seen:    s.seen,
 		Dropped: s.dropped,
 		Win:     s.win.State(),
 		Edges:   core.SnapshotEdges(s.g),
+		Retain:  s.retain,
+		LabelTS: append([]int64(nil), s.labelTS...),
 	}
 	for _, mb := range s.members {
-		st.Members = append(st.Members, mb.engine.SnapshotState())
+		if mb != nil {
+			st.Members = append(st.Members, mb.engine.SnapshotState())
+		}
 	}
 	return st
 }
@@ -697,9 +986,15 @@ func (s *Engine) RestoreState(st *core.MultiState) error {
 	if s.started || s.seen != 0 {
 		return fmt.Errorf("shard: RestoreState after processing started")
 	}
-	if len(st.Members) != len(s.members) {
+	live := 0
+	for _, mb := range s.members {
+		if mb != nil {
+			live++
+		}
+	}
+	if len(st.Members) != live {
 		return fmt.Errorf("shard: restore: snapshot has %d members, engine has %d",
-			len(st.Members), len(s.members))
+			len(st.Members), live)
 	}
 	if err := core.RestoreEdges(s.g, st.Edges); err != nil {
 		return err
@@ -708,10 +1003,17 @@ func (s *Engine) RestoreState(st *core.MultiState) error {
 	s.seen = st.Seen
 	s.dropped = st.Dropped
 	s.win.SetState(st.Win)
-	for i, mb := range s.members {
+	s.retain = st.Retain
+	s.labelTS = append([]int64(nil), st.LabelTS...)
+	i := 0
+	for _, mb := range s.members {
+		if mb == nil {
+			continue
+		}
 		if err := mb.engine.RestoreState(st.Members[i]); err != nil {
 			return fmt.Errorf("shard: restore member %d: %w", i, err)
 		}
+		i++
 	}
 	return nil
 }
@@ -723,9 +1025,10 @@ func (s *Engine) Close() error {
 	if s.closed {
 		return s.err
 	}
+	s.drain()         // defensive: ProcessBatch drains on every exit path
+	s.finishPending() // join bootstrap goroutines, release their leases
 	s.closed = true
 	if s.started {
-		s.drain() // defensive: ProcessBatch drains on every exit path
 		for _, w := range s.workers {
 			close(w.in)
 		}

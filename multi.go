@@ -31,13 +31,17 @@ type MultiEvaluator struct {
 	persist  *persistState // nil unless WithPersistence/Recover was used
 	lastTS   int64
 	started  bool
+	dynamic  bool   // EnableDynamicQueries: online add/remove allowed
+	batches  uint64 // batches applied (without persistence; see AppliedBatches)
 }
 
 type multiMember struct {
 	query    *Query
 	bound    *automaton.Bound
-	batch    []Match // per-Ingest scratch of the sequential backend
-	invBatch []Match // per-Ingest invalidation scratch
+	eng      *core.RAPQ // sequential backend engine (nil with a sharded backend)
+	removed  bool       // tombstone: RemoveQuery keeps indices stable
+	batch    []Match    // per-Ingest scratch of the sequential backend
+	invBatch []Match    // per-Ingest invalidation scratch
 }
 
 // QueryResult couples one registered query with the matches the last
@@ -99,7 +103,19 @@ func (m *MultiEvaluator) addQuery(q *Query) error {
 		}
 		return id
 	}, m.labels.Len())
-	sink := core.FuncSink{
+	e, err := m.multi.Add(member.bound, core.WithSink(m.memberSink(member)))
+	if err != nil {
+		return err
+	}
+	member.eng = e
+	m.queries = append(m.queries, member)
+	return nil
+}
+
+// memberSink builds the sequential-backend sink that collects one
+// member's per-tuple emissions into its scratch slices.
+func (m *MultiEvaluator) memberSink(member *multiMember) core.FuncSink {
+	return core.FuncSink{
 		Match: func(cm core.Match) {
 			member.batch = append(member.batch, m.decode(cm))
 		},
@@ -107,11 +123,6 @@ func (m *MultiEvaluator) addQuery(q *Query) error {
 			member.invBatch = append(member.invBatch, m.decode(cm))
 		},
 	}
-	if _, err := m.multi.Add(member.bound, core.WithSink(sink)); err != nil {
-		return err
-	}
-	m.queries = append(m.queries, member)
-	return nil
 }
 
 func (m *MultiEvaluator) decode(cm core.Match) Match {
@@ -145,11 +156,26 @@ func (m *MultiEvaluator) WithShards(n int) error {
 	if err != nil {
 		return err
 	}
-	for _, member := range m.queries {
+	if m.dynamic {
+		if err := eng.SetRetainAll(true); err != nil {
+			eng.Close()
+			return err
+		}
+	}
+	// Re-register every slot — including removed ones, which are added
+	// and immediately tombstoned — so facade indices stay engine indices.
+	for i, member := range m.queries {
 		if _, err := eng.Add(member.bound, nil); err != nil {
 			eng.Close()
 			return err
 		}
+		if member.removed {
+			if err := eng.RemoveDynamic(i); err != nil {
+				eng.Close()
+				return err
+			}
+		}
+		member.eng = nil // emissions now flow through the shard merge
 	}
 	if m.sharded != nil {
 		m.sharded.Close()
@@ -194,8 +220,177 @@ func (m *MultiEvaluator) PipelineDepth() int {
 	return m.sharded.PipelineDepth()
 }
 
-// NumQueries returns the number of registered queries.
-func (m *MultiEvaluator) NumQueries() int { return len(m.queries) }
+// EnableDynamicQueries switches the evaluator to retain-all mode, the
+// prerequisite for registering or removing queries mid-stream (AddQuery
+// / RemoveQuery): the shared graph then stores every label — not just
+// the union of the registered alphabets — so a query registered later
+// can bootstrap its Δ index from the live window. Must be called before
+// the first tuple; the mode survives WithShards and, with persistence,
+// checkpoint/recovery.
+func (m *MultiEvaluator) EnableDynamicQueries() error {
+	if m.started {
+		return fmt.Errorf("streamrpq: EnableDynamicQueries after processing started")
+	}
+	var err error
+	if m.sharded != nil {
+		err = m.sharded.SetRetainAll(true)
+	} else {
+		err = m.multi.SetRetainAll(true)
+	}
+	if err != nil {
+		return fmt.Errorf("streamrpq: %w", err)
+	}
+	m.dynamic = true
+	return nil
+}
+
+// DynamicQueries reports whether online registration is enabled.
+func (m *MultiEvaluator) DynamicQueries() bool { return m.dynamic }
+
+// AddQuery registers a query online, without pausing ingest, and
+// returns its registration index (stable for the evaluator's lifetime;
+// the id RemoveQuery and QueryByIndex take). Requires
+// EnableDynamicQueries before the first tuple. The registration takes
+// effect at the next batch boundary: the query's Δ index is
+// bootstrapped by replaying the retained window content — with the
+// sharded backend this runs on a background goroutine under an epoch
+// lease while ingest continues — and from the next batch on the query
+// emits exactly what it would have emitted had it been registered from
+// stream start (matches already live in the window are not re-emitted).
+// With persistence enabled the registration is made durable by an
+// immediate synchronous checkpoint before AddQuery returns.
+func (m *MultiEvaluator) AddQuery(q *Query) (int, error) {
+	if !m.dynamic {
+		return 0, fmt.Errorf("streamrpq: AddQuery requires EnableDynamicQueries before the first tuple")
+	}
+	// Grow the shared label dictionary by the new alphabet, then bind
+	// against the full space (older members bounds-check beyond theirs).
+	for _, l := range q.Alphabet() {
+		m.labels.ID(l)
+	}
+	member := &multiMember{query: q}
+	member.bound = q.dfa.Bind(func(s string) int {
+		id, ok := m.labels.Lookup(s)
+		if !ok {
+			return -1
+		}
+		return id
+	}, m.labels.Len())
+	if m.sharded != nil {
+		idx, err := m.sharded.AddDynamic(member.bound, nil)
+		if err != nil {
+			return 0, fmt.Errorf("streamrpq: %w", err)
+		}
+		if idx != len(m.queries) {
+			return 0, fmt.Errorf("streamrpq: internal error: registration index skew (%d vs %d)", idx, len(m.queries))
+		}
+	} else {
+		e, err := m.multi.AddDynamic(member.bound, core.WithSink(m.memberSink(member)))
+		if err != nil {
+			return 0, fmt.Errorf("streamrpq: %w", err)
+		}
+		member.eng = e
+	}
+	m.queries = append(m.queries, member)
+	idx := len(m.queries) - 1
+	if m.persist != nil {
+		// A registration is durable only through a checkpoint: WAL batches
+		// replayed after recovery must see the query set they were
+		// evaluated under. Crash before this completes ⇒ the registration
+		// is cleanly lost (no batch can have been ingested in between).
+		if err := m.Checkpoint(); err != nil {
+			return idx, fmt.Errorf("streamrpq: AddQuery checkpoint: %w", err)
+		}
+	}
+	return idx, nil
+}
+
+// RemoveQuery detaches the query with the given registration index.
+// The removal takes effect at the next batch boundary; surviving
+// queries keep their indices. With persistence enabled the removal is
+// checkpointed synchronously, like AddQuery.
+func (m *MultiEvaluator) RemoveQuery(index int) error {
+	if !m.dynamic {
+		return fmt.Errorf("streamrpq: RemoveQuery requires EnableDynamicQueries")
+	}
+	if index < 0 || index >= len(m.queries) || m.queries[index].removed {
+		return fmt.Errorf("streamrpq: RemoveQuery: no query with index %d", index)
+	}
+	member := m.queries[index]
+	if m.sharded != nil {
+		if err := m.sharded.RemoveDynamic(index); err != nil {
+			return fmt.Errorf("streamrpq: %w", err)
+		}
+	} else {
+		if !m.multi.Remove(member.eng) {
+			return fmt.Errorf("streamrpq: internal error: RemoveQuery: engine for index %d not registered", index)
+		}
+	}
+	member.removed = true
+	member.eng = nil
+	if m.persist != nil {
+		if err := m.Checkpoint(); err != nil {
+			return fmt.Errorf("streamrpq: RemoveQuery checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// RegisteredQueries returns every registration slot in index order;
+// removed queries appear as nil. The slice is a copy.
+func (m *MultiEvaluator) RegisteredQueries() []*Query {
+	out := make([]*Query, len(m.queries))
+	for i, member := range m.queries {
+		if !member.removed {
+			out[i] = member.query
+		}
+	}
+	return out
+}
+
+// Persistent reports whether durability is enabled (WithPersistence or
+// Recover).
+func (m *MultiEvaluator) Persistent() bool { return m.persist != nil }
+
+// QueryByIndex returns the query registered under the given index, or
+// nil if the index is out of range or the query was removed.
+func (m *MultiEvaluator) QueryByIndex(index int) *Query {
+	if index < 0 || index >= len(m.queries) || m.queries[index].removed {
+		return nil
+	}
+	return m.queries[index].query
+}
+
+// AppliedBatches counts the batches the evaluator has applied (with
+// persistence: committed). It is the coarse component of a resume
+// token — results of batch n carry sequence positions (n, i) with i
+// the result's rank within the batch's deterministic merge order.
+func (m *MultiEvaluator) AppliedBatches() uint64 {
+	if m.persist != nil {
+		return m.persist.appliedBatches
+	}
+	return m.batches
+}
+
+// Err returns the sharded backend's sticky error (a recovered shard
+// fault that poisoned the engine), or nil with the sequential backend.
+func (m *MultiEvaluator) Err() error {
+	if m.sharded != nil {
+		return m.sharded.Err()
+	}
+	return nil
+}
+
+// NumQueries returns the number of live (non-removed) queries.
+func (m *MultiEvaluator) NumQueries() int {
+	n := 0
+	for _, member := range m.queries {
+		if !member.removed {
+			n++
+		}
+	}
+	return n
+}
 
 // NumShards returns the shard count (1 until WithShards is called).
 func (m *MultiEvaluator) NumShards() int {
@@ -263,6 +458,7 @@ func (m *MultiEvaluator) Ingest(t Tuple) ([]QueryResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("streamrpq: %w", err)
 		}
+		m.batches++
 		var out []QueryResult
 		for _, r := range results {
 			match := m.decode(r.Match)
@@ -285,8 +481,12 @@ func (m *MultiEvaluator) Ingest(t Tuple) ([]QueryResult, error) {
 		member.invBatch = member.invBatch[:0]
 	}
 	m.multi.Process(m.encode(t))
+	m.batches++
 	var out []QueryResult
 	for _, member := range m.queries {
+		if member.removed {
+			continue
+		}
 		if len(member.batch) > 0 || len(member.invBatch) > 0 {
 			out = append(out, QueryResult{Query: member.query, Matches: member.batch, Invalidations: member.invBatch})
 		}
@@ -357,6 +557,7 @@ func (m *MultiEvaluator) ingestEncoded(encoded []stream.Tuple) ([]BatchResult, e
 		}
 		m.started = true
 		m.lastTS = last
+		m.batches++
 		var out []BatchResult
 		for _, r := range results {
 			match := m.decode(r.Match)
@@ -384,6 +585,9 @@ func (m *MultiEvaluator) ingestEncoded(encoded []stream.Tuple) ([]BatchResult, e
 		m.started = true
 		m.lastTS = t.TS
 		for _, member := range m.queries {
+			if member.removed {
+				continue
+			}
 			if len(member.batch) > 0 || len(member.invBatch) > 0 {
 				br := BatchResult{Tuple: i, Query: member.query}
 				if len(member.batch) > 0 {
@@ -396,6 +600,7 @@ func (m *MultiEvaluator) ingestEncoded(encoded []stream.Tuple) ([]BatchResult, e
 			}
 		}
 	}
+	m.batches++
 	return out, nil
 }
 

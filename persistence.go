@@ -139,6 +139,9 @@ func (m *MultiEvaluator) Checkpoint() error {
 		AppliedBatches: p.appliedBatches,
 	}
 	for _, member := range m.queries {
+		if member.removed {
+			continue // tombstones compact away; recovery renumbers live queries
+		}
 		snap.Queries = append(snap.Queries, member.query.String())
 	}
 	if m.sharded != nil {
@@ -372,15 +375,48 @@ func rebuildFromSnapshot(snap *persist.Snapshot) (*MultiEvaluator, error) {
 		}
 		queries[i] = q
 	}
-	m, err := NewMultiEvaluator(snap.Spec.Size, snap.Spec.Slide, queries...)
-	if err != nil {
-		return nil, err
-	}
-	if err := m.labels.Load(snap.Labels); err != nil {
-		return nil, fmt.Errorf("streamrpq: recover: label dictionary: %w", err)
-	}
-	if err := m.vertices.Load(snap.Vertices); err != nil {
-		return nil, fmt.Errorf("streamrpq: recover: vertex dictionary: %w", err)
+	var m *MultiEvaluator
+	var err error
+	if snap.State != nil && snap.State.Retain {
+		// Dynamic (retain-all) evaluator: labels of queries registered
+		// mid-stream interleave with stream labels in the dictionary, so
+		// the static intern-alphabets-then-Load sequence cannot reproduce
+		// the persisted id assignment. Instead construct an empty
+		// evaluator, load the full dictionaries, and bind every query
+		// against the complete label space — each alphabet label is
+		// already in the dictionary, and binding older queries against a
+		// larger space than at first registration is emission-equivalent
+		// (the ΣQ bounds guards in core skip labels outside a member's
+		// alphabet regardless of binding width).
+		m, err = NewMultiEvaluator(snap.Spec.Size, snap.Spec.Slide)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.labels.Load(snap.Labels); err != nil {
+			return nil, fmt.Errorf("streamrpq: recover: label dictionary: %w", err)
+		}
+		if err := m.vertices.Load(snap.Vertices); err != nil {
+			return nil, fmt.Errorf("streamrpq: recover: vertex dictionary: %w", err)
+		}
+		if err := m.EnableDynamicQueries(); err != nil {
+			return nil, err
+		}
+		for _, q := range queries {
+			if err := m.addQuery(q); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		m, err = NewMultiEvaluator(snap.Spec.Size, snap.Spec.Slide, queries...)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.labels.Load(snap.Labels); err != nil {
+			return nil, fmt.Errorf("streamrpq: recover: label dictionary: %w", err)
+		}
+		if err := m.vertices.Load(snap.Vertices); err != nil {
+			return nil, fmt.Errorf("streamrpq: recover: vertex dictionary: %w", err)
+		}
 	}
 	var restoreErr error
 	if snap.Sharded {

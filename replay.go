@@ -122,17 +122,37 @@ func ReplayMulti(r io.Reader, m *MultiEvaluator, batchSize int, skip int64, onRe
 	return n, nil
 }
 
+// ParseTuple parses one tuple in the stream text format
+// ("ts src dst label [+|-]"). It is the single-line form of Replay's
+// input format, exported for callers that receive tuples one at a time
+// (e.g. the serving layer's ingest endpoint).
+func ParseTuple(text string) (Tuple, error) {
+	t, err := parseTupleText(strings.TrimSpace(text))
+	if err != nil {
+		return Tuple{}, fmt.Errorf("streamrpq: %w", err)
+	}
+	return t, nil
+}
+
 // parseTupleLine parses one stream-file line. line is the 1-based line
 // number, included in errors so malformed stream files point at the
 // offending line.
 func parseTupleLine(line int, text string) (Tuple, error) {
+	t, err := parseTupleText(text)
+	if err != nil {
+		return Tuple{}, fmt.Errorf("line %d: %w", line, err)
+	}
+	return t, nil
+}
+
+func parseTupleText(text string) (Tuple, error) {
 	fields := strings.Fields(text)
 	if len(fields) < 4 || len(fields) > 5 {
-		return Tuple{}, fmt.Errorf("line %d: want 4 or 5 fields, got %d", line, len(fields))
+		return Tuple{}, fmt.Errorf("want 4 or 5 fields, got %d", len(fields))
 	}
 	ts, err := strconv.ParseInt(fields[0], 10, 64)
 	if err != nil {
-		return Tuple{}, fmt.Errorf("line %d: bad timestamp %q: %v", line, fields[0], err)
+		return Tuple{}, fmt.Errorf("bad timestamp %q: %v", fields[0], err)
 	}
 	t := Tuple{TS: ts, Src: fields[1], Dst: fields[2], Label: fields[3]}
 	if len(fields) == 5 {
@@ -141,7 +161,7 @@ func parseTupleLine(line int, text string) (Tuple, error) {
 		case "-":
 			t.Delete = true
 		default:
-			return Tuple{}, fmt.Errorf("line %d: bad op %q (want + or -)", line, fields[4])
+			return Tuple{}, fmt.Errorf("bad op %q (want + or -)", fields[4])
 		}
 	}
 	return t, nil
