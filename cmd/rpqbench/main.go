@@ -15,12 +15,19 @@
 // trajectories can be recorded as BENCH_*.json files across commits.
 // -shards and -pipeline override the sweep grids of the multiq and
 // pipeline experiments (comma-separated lists).
+//
+// -cpuprofile and -memprofile write pprof profiles covering the
+// selected experiments (CPU over the whole run; heap snapshotted after
+// a final GC), for digging into the engine hot paths with
+// `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -53,8 +60,41 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of tables (structured experiments only)")
 		shards  = flag.String("shards", "", "comma-separated shard counts for the multiq/pipeline sweeps (default grid if empty)")
 		depths  = flag.String("pipeline", "", "comma-separated pipeline depths for the pipeline sweep (default 1,2,4; 1 = barriered)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile (after the selected experiments) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpqbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rpqbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rpqbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rpqbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, r := range experiments.All() {

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"streamrpq/internal/stream"
+	"streamrpq/internal/window"
+)
+
+// The pointer-free hot path is an allocation contract, not just a
+// layout: steady-state inserts must not allocate per edge. Node slots,
+// cascade stacks, adjacency buffers, and inverted-index rows are all
+// reused, so once the working set exists, re-processing edges is
+// alloc-free up to amortized slice growth (graph FIFO appends, slab
+// doubling). These tests pin that contract with testing.AllocsPerRun;
+// they run as a blocking CI step.
+
+// chainTuples builds a chain v0 -a-> v1 -b-> v2 -a-> ... so an a/b
+// query grows a tree under every other vertex.
+func chainTuples(n int, ts int64) []stream.Tuple {
+	out := make([]stream.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, stream.Tuple{
+			TS:    ts,
+			Src:   stream.VertexID(i),
+			Dst:   stream.VertexID(i + 1),
+			Label: stream.LabelID(i % 2),
+		})
+	}
+	return out
+}
+
+// TestRAPQInsertSteadyStateAllocs: re-processing a warmed-up working
+// set must average well under one allocation per tuple, on both the
+// skip path (same timestamp, cascade pruned at the first node) and the
+// refresh path (newer timestamp, full cascade re-walks the subtree and
+// rewrites slots in place).
+func TestRAPQInsertSteadyStateAllocs(t *testing.T) {
+	a := bind(t, "a/b", "a", "b")
+	// Window large enough that the measured runs never cross a slide
+	// boundary: expiry has its own (amortized) costs and its own test.
+	e := NewRAPQ(a, window.Spec{Size: 1 << 40, Slide: 1 << 40}, WithSink(discardSink{}))
+	const n = 64
+	tuples := chainTuples(n, 1)
+	for _, tu := range tuples {
+		e.Process(tu)
+	}
+
+	t.Run("same-ts skip path", func(t *testing.T) {
+		avg := testing.AllocsPerRun(50, func() {
+			for _, tu := range tuples {
+				e.Process(tu)
+			}
+		})
+		if perTuple := avg / n; perTuple >= 0.5 {
+			t.Errorf("same-ts re-insert allocates %.2f/tuple (avg %.1f per %d-tuple run), want < 0.5", perTuple, avg, n)
+		}
+	})
+
+	t.Run("refresh cascade", func(t *testing.T) {
+		ts := int64(1)
+		avg := testing.AllocsPerRun(50, func() {
+			ts++
+			for _, tu := range tuples {
+				tu.TS = ts
+				e.Process(tu)
+			}
+		})
+		if perTuple := avg / n; perTuple >= 0.5 {
+			t.Errorf("refresh cascade allocates %.2f/tuple (avg %.1f per %d-tuple run), want < 0.5", perTuple, avg, n)
+		}
+	})
+}
+
+// TestParallelRAPQFanOutAllocs: the tree-parallel fan-out may allocate
+// per call (one channel, one closure per worker goroutine), but never
+// per tree or per edge. A hub tuple touching 64 trees must stay within
+// a flat per-call budget; any per-tree allocation would blow past it
+// 64-fold.
+func TestParallelRAPQFanOutAllocs(t *testing.T) {
+	a := bind(t, "a/b", "a", "b")
+	p := NewParallelRAPQ(a, window.Spec{Size: 1 << 40, Slide: 1 << 40}, 4, WithSink(discardSink{}))
+	const roots = 64
+	const hub = stream.VertexID(1000)
+	for i := 0; i < roots; i++ {
+		p.Process(stream.Tuple{TS: 1, Src: stream.VertexID(i), Dst: hub, Label: 0})
+	}
+	fan := stream.Tuple{TS: 2, Src: hub, Dst: 2000, Label: 1}
+	p.Process(fan) // materialize the (2000, final) node in every tree
+	ts := int64(2)
+	avg := testing.AllocsPerRun(50, func() {
+		ts++
+		fan.TS = ts
+		p.Process(fan)
+	})
+	const budget = 24 // fan-out scaffolding only: channel + per-worker closures
+	if avg > budget {
+		t.Errorf("fan-out over %d trees allocates %.1f per call, want <= %d (per-tree allocation leak?)", roots, avg, budget)
+	}
+}

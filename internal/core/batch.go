@@ -40,28 +40,31 @@ func batchFrom(g *graph.Graph, a *automaton.Bound, x stream.VertexID, validFrom 
 	start := pnode{v: x, s: a.Start}
 	seen := map[pnode]struct{}{start: {}}
 	queue := []pnode{start}
+	epoch := g.Epoch()
+	var buf []graph.HalfEdge
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		g.Out(cur.v, func(w stream.VertexID, l stream.LabelID, ts int64) bool {
-			if ts <= validFrom {
-				return true
+		// buf is fully consumed into queue before the next refill.
+		buf = g.AppendOutAt(epoch, cur.v, buf[:0])
+		for _, he := range buf {
+			if he.TS <= validFrom {
+				continue
 			}
-			t := a.Step(cur.s, int(l))
+			t := a.Step(cur.s, int(he.L))
 			if t == automaton.NoState {
-				return true
+				continue
 			}
-			next := pnode{v: w, s: t}
+			next := pnode{v: he.V, s: t}
 			if _, ok := seen[next]; ok {
-				return true
+				continue
 			}
 			seen[next] = struct{}{}
 			if a.Final[t] {
-				report(w)
+				report(he.V)
 			}
 			queue = append(queue, next)
-			return true
-		})
+		}
 	}
 }
 

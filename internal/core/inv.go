@@ -13,6 +13,16 @@ import (
 // mutex. Stripe count is fixed at construction; 1 stripe reproduces
 // the sequential engine's behaviour with negligible overhead.
 //
+// Vertex ids are dense (stream.Dict assigns them in first-seen order),
+// so the index exploits them directly instead of hashing raw vertex
+// values: stripe selection is a mask of the low bits (consecutive ids
+// spread round-robin across stripes), and within a stripe the vertex's
+// row is indexed by the remaining high bits into a flat slice — two
+// array offsets where the map-of-maps representation paid two hash
+// probes per lookup. Per-row root sets are a small linear-scanned
+// slice (trees-per-vertex is tiny for real workloads), promoted to a
+// map past invPromote roots.
+//
 // Epoch discipline: unlike the shared snapshot graph, the index needs
 // no version intervals. It is owned by exactly one member engine, and
 // that member applies its sub-batches strictly in epoch order (the
@@ -26,43 +36,87 @@ import (
 type invIndex struct {
 	stripes []invStripe
 	mask    uint32
+	shift   uint32 // log2(len(stripes)): row index is v >> shift
+}
+
+// invPromote is the root count above which a row's linear-scanned
+// slice is promoted to a map.
+const invPromote = 16
+
+// invRow is the root set of one vertex: a small slice scanned
+// linearly, or a map once it outgrows invPromote.
+type invRow struct {
+	small []stream.VertexID
+	big   map[stream.VertexID]struct{}
 }
 
 type invStripe struct {
-	mu sync.Mutex
-	m  map[stream.VertexID]map[stream.VertexID]struct{} // vertex -> roots of trees containing it
-	_  [40]byte                                         // pad to a cache line against false sharing
+	mu   sync.Mutex
+	rows []invRow // indexed by v >> shift, grown on demand
+	_    [40]byte // pad to a cache line against false sharing
 }
 
 // newInvIndex returns an index with the given stripe count rounded up
 // to a power of two (minimum 1).
 func newInvIndex(stripes int) *invIndex {
 	n := 1
+	sh := uint32(0)
 	for n < stripes {
 		n <<= 1
+		sh++
 	}
-	ix := &invIndex{stripes: make([]invStripe, n), mask: uint32(n - 1)}
-	for i := range ix.stripes {
-		ix.stripes[i].m = make(map[stream.VertexID]map[stream.VertexID]struct{})
-	}
-	return ix
+	return &invIndex{stripes: make([]invStripe, n), mask: uint32(n - 1), shift: sh}
 }
 
 func (ix *invIndex) stripe(v stream.VertexID) *invStripe {
-	// Fibonacci hashing spreads consecutive vertex ids across stripes.
-	return &ix.stripes[(uint32(v)*2654435769)>>16&ix.mask]
+	return &ix.stripes[uint32(v)&ix.mask]
+}
+
+// row returns the vertex's row in st, growing the stripe to cover it.
+func (ix *invIndex) row(st *invStripe, v stream.VertexID) *invRow {
+	r := int(uint32(v) >> ix.shift)
+	if r >= len(st.rows) {
+		n := len(st.rows)
+		if n == 0 {
+			n = 16
+		}
+		for n <= r {
+			n *= 2
+		}
+		rows := make([]invRow, n)
+		copy(rows, st.rows)
+		st.rows = rows
+	}
+	return &st.rows[r]
 }
 
 // add records that the tree rooted at root contains v.
 func (ix *invIndex) add(v, root stream.VertexID) {
 	st := ix.stripe(v)
 	st.mu.Lock()
-	m := st.m[v]
-	if m == nil {
-		m = make(map[stream.VertexID]struct{})
-		st.m[v] = m
+	row := ix.row(st, v)
+	if row.big != nil {
+		row.big[root] = struct{}{}
+		st.mu.Unlock()
+		return
 	}
-	m[root] = struct{}{}
+	for _, r := range row.small {
+		if r == root {
+			st.mu.Unlock()
+			return
+		}
+	}
+	if len(row.small) >= invPromote {
+		row.big = make(map[stream.VertexID]struct{}, 2*len(row.small))
+		for _, r := range row.small {
+			row.big[r] = struct{}{}
+		}
+		row.small = nil
+		row.big[root] = struct{}{}
+		st.mu.Unlock()
+		return
+	}
+	row.small = append(row.small, root)
 	st.mu.Unlock()
 }
 
@@ -70,10 +124,22 @@ func (ix *invIndex) add(v, root stream.VertexID) {
 func (ix *invIndex) drop(v, root stream.VertexID) {
 	st := ix.stripe(v)
 	st.mu.Lock()
-	if m := st.m[v]; m != nil {
-		delete(m, root)
-		if len(m) == 0 {
-			delete(st.m, v)
+	r := int(uint32(v) >> ix.shift)
+	if r < len(st.rows) {
+		row := &st.rows[r]
+		if row.big != nil {
+			delete(row.big, root)
+		} else {
+			for i, x := range row.small {
+				if x == root {
+					// Order-preserving removal: appendRoots snapshots
+					// feed the sequential engines' fan-out order, which
+					// must not depend on removal history more than the
+					// insertion order already does.
+					row.small = append(row.small[:i], row.small[i+1:]...)
+					break
+				}
+			}
 		}
 	}
 	st.mu.Unlock()
@@ -83,9 +149,22 @@ func (ix *invIndex) drop(v, root stream.VertexID) {
 func (ix *invIndex) has(v, root stream.VertexID) bool {
 	st := ix.stripe(v)
 	st.mu.Lock()
-	_, ok := st.m[v][root]
-	st.mu.Unlock()
-	return ok
+	defer st.mu.Unlock()
+	r := int(uint32(v) >> ix.shift)
+	if r >= len(st.rows) {
+		return false
+	}
+	row := &st.rows[r]
+	if row.big != nil {
+		_, ok := row.big[root]
+		return ok
+	}
+	for _, x := range row.small {
+		if x == root {
+			return true
+		}
+	}
+	return false
 }
 
 // forEach calls f for every (v, root) entry (invariant checks only; f
@@ -94,8 +173,16 @@ func (ix *invIndex) forEach(f func(v, root stream.VertexID) bool) {
 	for i := range ix.stripes {
 		st := &ix.stripes[i]
 		st.mu.Lock()
-		for v, roots := range st.m {
-			for root := range roots {
+		for r := range st.rows {
+			v := stream.VertexID(uint32(r)<<ix.shift | uint32(i))
+			row := &st.rows[r]
+			for _, root := range row.small {
+				if !f(v, root) {
+					st.mu.Unlock()
+					return
+				}
+			}
+			for root := range row.big {
 				if !f(v, root) {
 					st.mu.Unlock()
 					return
@@ -112,8 +199,13 @@ func (ix *invIndex) forEach(f func(v, root stream.VertexID) bool) {
 func (ix *invIndex) appendRoots(v stream.VertexID, dst []stream.VertexID) []stream.VertexID {
 	st := ix.stripe(v)
 	st.mu.Lock()
-	for root := range st.m[v] {
-		dst = append(dst, root)
+	r := int(uint32(v) >> ix.shift)
+	if r < len(st.rows) {
+		row := &st.rows[r]
+		dst = append(dst, row.small...)
+		for root := range row.big {
+			dst = append(dst, root)
+		}
 	}
 	st.mu.Unlock()
 	return dst

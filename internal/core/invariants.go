@@ -32,57 +32,73 @@ func (e *RAPQ) CheckInvariants() error {
 		if tx.root != root {
 			return fmt.Errorf("tree keyed %d has root %d", root, tx.root)
 		}
+		ns := &tx.ns
 		rootKey := mkNodeKey(root, e.a.Start)
-		rootNode := tx.nodes[rootKey]
-		if rootNode == nil {
+		rootSlot := ns.lookup(rootKey)
+		if rootSlot < 0 {
 			return fmt.Errorf("tree %d: root node missing", root)
 		}
-		if rootNode.parent != rootKey {
+		if ns.parent[rootSlot] != rootSlot {
 			return fmt.Errorf("tree %d: root parent not self", root)
 		}
-		if rootNode.ts != rootTS {
-			return fmt.Errorf("tree %d: root ts = %d", root, rootNode.ts)
+		if ns.ts[rootSlot] != rootTS {
+			return fmt.Errorf("tree %d: root ts = %d", root, ns.ts[rootSlot])
 		}
+		liveSlots := 0
 		vcount := map[stream.VertexID]int32{}
-		for key, node := range tx.nodes {
-			if mkNodeKey(node.v, node.s) != key {
-				return fmt.Errorf("tree %d: node key mismatch (%d,%d) under %v", root, node.v, node.s, key)
+		for slot := int32(0); slot < int32(len(ns.keys)); slot++ {
+			if !ns.live(slot) {
+				continue
 			}
-			vcount[node.v]++
-			if m := invSeen[node.v]; m == nil {
-				invSeen[node.v] = map[stream.VertexID]bool{root: true}
+			liveSlots++
+			key := ns.keys[slot]
+			nv, nstate := key.vertex(), key.state()
+			if ns.lookup(key) != slot {
+				return fmt.Errorf("tree %d: slot %d not indexed under its key (%d,%d)", root, slot, nv, nstate)
+			}
+			vcount[nv]++
+			if m := invSeen[nv]; m == nil {
+				invSeen[nv] = map[stream.VertexID]bool{root: true}
 			} else {
 				m[root] = true
 			}
-			if key == rootKey {
+			if slot == rootSlot {
 				continue
 			}
-			parent := tx.nodes[node.parent]
-			if parent == nil {
-				return fmt.Errorf("tree %d: node (%d,%d) has dangling parent (%d,%d)",
-					root, node.v, node.s, node.parent.vertex(), node.parent.state())
+			pslot := ns.parent[slot]
+			if pslot < 0 || pslot >= int32(len(ns.keys)) || !ns.live(pslot) {
+				return fmt.Errorf("tree %d: node (%d,%d) has dangling parent slot %d", root, nv, nstate, pslot)
 			}
-			if _, ok := parent.children[key]; !ok {
+			pk := ns.keys[pslot]
+			listed := false
+			for c := ns.firstChild[pslot]; c >= 0; c = ns.nextSib[c] {
+				if c == slot {
+					listed = true
+					break
+				}
+			}
+			if !listed {
 				return fmt.Errorf("tree %d: parent (%d,%d) does not list child (%d,%d)",
-					root, parent.v, parent.s, node.v, node.s)
+					root, pk.vertex(), pk.state(), nv, nstate)
 			}
-			if node.ts > parent.ts {
+			if ns.ts[slot] > ns.ts[pslot] {
 				return fmt.Errorf("tree %d: child (%d,%d).ts=%d exceeds parent (%d,%d).ts=%d",
-					root, node.v, node.s, node.ts, parent.v, parent.s, parent.ts)
+					root, nv, nstate, ns.ts[slot], pk.vertex(), pk.state(), ns.ts[pslot])
 			}
 			// Edge support: some graph edge parent.v -> node.v with a
 			// transition parent.s -> node.s and min(parent.ts, edge.ts)
 			// == node.ts. Only meaningful for in-window nodes.
-			if node.ts > validFrom {
+			if ns.ts[slot] > validFrom {
 				supported := false
-				e.g.Out(parent.v, func(dst stream.VertexID, l stream.LabelID, ts int64) bool {
-					if dst != node.v {
+				nodeTS, parentTS := ns.ts[slot], ns.ts[pslot]
+				e.g.Out(pk.vertex(), func(dst stream.VertexID, l stream.LabelID, ts int64) bool {
+					if dst != nv {
 						return true
 					}
-					if e.a.Trans[parent.s][l] != node.s {
+					if e.a.Trans[pk.state()][l] != nstate {
 						return true
 					}
-					if min(parent.ts, ts) == node.ts {
+					if min(parentTS, ts) == nodeTS {
 						supported = true
 						return false
 					}
@@ -90,16 +106,22 @@ func (e *RAPQ) CheckInvariants() error {
 				})
 				if !supported {
 					return fmt.Errorf("tree %d: tree edge (%d,%d)->(%d,%d) ts=%d has no supporting graph edge",
-						root, parent.v, parent.s, node.v, node.s, node.ts)
+						root, pk.vertex(), pk.state(), nv, nstate, ns.ts[slot])
 				}
 			}
-			// Children must exist.
-			for ck := range node.children {
-				if tx.nodes[ck] == nil {
-					return fmt.Errorf("tree %d: node (%d,%d) lists dead child (%d,%d)",
-						root, node.v, node.s, ck.vertex(), ck.state())
+			// Children must be live and point back.
+			for c := ns.firstChild[slot]; c >= 0; c = ns.nextSib[c] {
+				if !ns.live(c) {
+					return fmt.Errorf("tree %d: node (%d,%d) lists dead child slot %d", root, nv, nstate, c)
+				}
+				if ns.parent[c] != slot {
+					return fmt.Errorf("tree %d: node (%d,%d) lists child (%d,%d) with a different parent",
+						root, nv, nstate, ns.keys[c].vertex(), ns.keys[c].state())
 				}
 			}
+		}
+		if liveSlots != ns.size() {
+			return fmt.Errorf("tree %d: %d live slots but index has %d keys", root, liveSlots, ns.size())
 		}
 		for v, n := range vcount {
 			if tx.vcount[v] != n {
@@ -112,9 +134,13 @@ func (e *RAPQ) CheckInvariants() error {
 			}
 		}
 		support := map[stream.VertexID]int32{}
-		for _, node := range tx.nodes {
-			if e.a.Final[node.s] && !(node.v == root && node.s == e.a.Start) {
-				support[node.v]++
+		for slot := int32(0); slot < int32(len(ns.keys)); slot++ {
+			if !ns.live(slot) {
+				continue
+			}
+			key := ns.keys[slot]
+			if e.a.Final[key.state()] && !(key.vertex() == root && key.state() == e.a.Start) {
+				support[key.vertex()]++
 			}
 		}
 		if err := checkSupportMaps(root, tx.support, support); err != nil {

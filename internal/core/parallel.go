@@ -162,11 +162,16 @@ func (p *ParallelRAPQ) ApplyInsert(t stream.Tuple) {
 	p.mergeWorkers()
 }
 
-// treeWorker carries per-goroutine scratch state and result buffers.
-// Workers never touch the sink or the shared statistics directly; the
-// coordinator goroutine merges their buffers after each fan-out.
+// treeWorker carries per-goroutine scratch state and result buffers:
+// the cascade stack, the adjacency copies of the buffer traversal API,
+// and the expiry candidate list. Workers never touch the sink or the
+// shared statistics directly; the coordinator goroutine merges their
+// buffers after each fan-out.
 type treeWorker struct {
 	stack       []insertOp
+	outBuf      []graph.HalfEdge
+	inBuf       []graph.HalfEdge
+	cands       []nodeKey
 	matches     []Match
 	insertCalls int64
 }
@@ -211,58 +216,56 @@ func (p *ParallelRAPQ) updateTree(root stream.VertexID, t stream.Tuple, validFro
 		return
 	}
 	for _, tr := range e.a.ByLabel[t.Label] {
-		parent, ok := tx.nodes[mkNodeKey(t.Src, tr.From)]
-		if !ok || parent.ts <= validFrom {
+		pslot := tx.ns.lookup(mkNodeKey(t.Src, tr.From))
+		if pslot < 0 || tx.ns.ts[pslot] <= validFrom {
 			continue
 		}
-		p.insertConcurrent(tx, parent, t.Dst, tr.To, t.TS, validFrom, local)
+		p.insertConcurrent(tx, pslot, t.Dst, tr.To, t.TS, validFrom, local)
 	}
 }
 
-// insertConcurrent is Algorithm Insert with a per-worker stack. It
-// takes no locks beyond the inverted index's stripe mutexes:
-// tree-local mutations are safe because each tree is owned by exactly
-// one worker for the duration of the fan-out, the graph is read-only
-// during it, and results and counters go to the worker's buffers.
-func (p *ParallelRAPQ) insertConcurrent(tx *tree, parent *treeNode, v stream.VertexID, t int32, edgeTS int64, validFrom int64, w *treeWorker) {
+// insertConcurrent is Algorithm Insert with a per-worker stack and
+// adjacency buffer. It takes no locks beyond the inverted index's
+// stripe mutexes and the graph's per-vertex stripe read locks (held
+// only while AppendOutAt copies the adjacency): tree-local mutations
+// are safe because each tree is owned by exactly one worker for the
+// duration of the fan-out, the graph is read-only during it, and
+// results and counters go to the worker's buffers.
+func (p *ParallelRAPQ) insertConcurrent(tx *tree, parent int32, v stream.VertexID, t int32, edgeTS int64, validFrom int64, w *treeWorker) {
 	e := p.inner
+	ns := &tx.ns
 	stack := w.stack[:0]
-	stack = append(stack, insertOp{parent: mkNodeKey(parent.v, parent.s), v: v, t: t, edgeTS: edgeTS})
+	stack = append(stack, insertOp{parent: parent, v: v, t: t, edgeTS: edgeTS})
 
 	for len(stack) > 0 {
 		op := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 
-		par := tx.nodes[op.parent]
-		if par == nil {
-			continue
-		}
-		newTS := min(op.edgeTS, par.ts)
+		newTS := min(op.edgeTS, ns.ts[op.parent])
 		key := mkNodeKey(op.v, op.t)
-		node, exists := tx.nodes[key]
-		if exists && node.ts >= newTS {
+		slot := ns.lookup(key)
+		if slot >= 0 && ns.ts[slot] >= newTS {
 			continue
 		}
 		w.insertCalls++
 
-		if exists {
+		if slot >= 0 {
 			// Stale witness re-entering the window: see RAPQ.insert.
-			if e.a.Final[op.t] && node.ts <= validFrom && newTS > validFrom &&
+			if e.a.Final[op.t] && ns.ts[slot] <= validFrom && newTS > validFrom &&
 				!tx.preLive[op.v] && !e.isLive(tx, op.v, validFrom) {
 				w.matches = append(w.matches, Match{From: tx.root, To: op.v, TS: e.now})
 			}
-			e.detach(tx, node)
-			node.ts = newTS
-			node.parent = op.parent
-			e.attach(par, key)
+			ns.detach(slot)
+			ns.ts[slot] = newTS
+			ns.parent[slot] = op.parent
+			ns.attach(op.parent, slot)
 		} else {
 			wasLive := false
 			if e.a.Final[op.t] {
 				wasLive = tx.preLive[op.v] || e.isLive(tx, op.v, validFrom)
 			}
-			node = &treeNode{v: op.v, s: op.t, ts: newTS, parent: op.parent}
-			tx.nodes[key] = node
-			e.attach(par, key)
+			slot = ns.alloc(key, newTS, op.parent)
+			ns.attach(op.parent, slot)
 			tx.vcount[op.v]++
 			if tx.vcount[op.v] == 1 {
 				e.inv.add(op.v, tx.root)
@@ -275,23 +278,24 @@ func (p *ParallelRAPQ) insertConcurrent(tx *tree, parent *treeNode, v stream.Ver
 			}
 		}
 
-		e.g.OutAt(e.epoch, op.v, func(dst stream.VertexID, l stream.LabelID, ts int64) bool {
-			if ts <= validFrom || ts > e.now {
-				return true
+		w.outBuf = e.g.AppendOutAt(e.epoch, op.v, w.outBuf[:0])
+		nodeTS := ns.ts[slot]
+		for _, he := range w.outBuf {
+			if he.TS <= validFrom || he.TS > e.now {
+				continue
 			}
-			if l < 0 || int(l) >= len(e.a.ByLabel) {
-				return true // label bound after this member: outside its ΣQ
+			if he.L < 0 || int(he.L) >= len(e.a.ByLabel) {
+				continue // label bound after this member: outside its ΣQ
 			}
-			q := e.a.Trans[op.t][l]
+			q := e.a.Trans[op.t][he.L]
 			if q == automaton.NoState {
-				return true
+				continue
 			}
-			childTS := min(node.ts, ts)
-			if child, ok := tx.nodes[mkNodeKey(dst, q)]; !ok || child.ts < childTS {
-				stack = append(stack, insertOp{parent: key, v: dst, t: q, edgeTS: ts})
+			childTS := min(nodeTS, he.TS)
+			if cs := ns.lookup(mkNodeKey(he.V, q)); cs < 0 || ns.ts[cs] < childTS {
+				stack = append(stack, insertOp{parent: slot, v: he.V, t: q, edgeTS: he.TS})
 			}
-			return true
-		})
+		}
 	}
 	w.stack = stack[:0]
 }
@@ -329,7 +333,7 @@ func (p *ParallelRAPQ) ApplyExpiry(deadline int64) {
 			for root := range work {
 				tx := e.trees[root]
 				p.expireTreeConcurrent(tx, deadline, local)
-				if len(tx.nodes) == 1 {
+				if tx.ns.size() == 1 {
 					gcMu.Lock()
 					gc = append(gc, root)
 					gcMu.Unlock()
@@ -341,8 +345,8 @@ func (p *ParallelRAPQ) ApplyExpiry(deadline int64) {
 	p.mergeWorkers()
 	for _, root := range gc {
 		tx := e.trees[root]
-		if tx != nil && len(tx.nodes) == 1 {
-			e.remove(tx, mkNodeKey(root, e.a.Start), tx.nodes[mkNodeKey(root, e.a.Start)])
+		if tx != nil && tx.ns.size() == 1 {
+			e.remove(tx, tx.ns.lookup(mkNodeKey(root, e.a.Start)))
 			delete(e.trees, root)
 		}
 	}
@@ -354,63 +358,70 @@ func (p *ParallelRAPQ) ApplyExpiry(deadline int64) {
 // during the fan-out.
 func (p *ParallelRAPQ) expireTreeConcurrent(tx *tree, deadline int64, w *treeWorker) {
 	e := p.inner
-	var candidates []nodeKey
-	for key, node := range tx.nodes {
-		if node.ts <= deadline {
-			candidates = append(candidates, key)
-			// Pre-pass liveness, as in RAPQ.expireTree: suppresses
-			// re-match emissions for pairs this pass cuts and
-			// reconnects. Tree-local state, so safe on a worker.
-			if e.a.Final[node.s] {
-				if _, seen := tx.preLive[node.v]; !seen {
-					if tx.preLive == nil {
-						tx.preLive = make(map[stream.VertexID]bool)
-					}
-					tx.preLive[node.v] = e.isLive(tx, node.v, deadline)
+	ns := &tx.ns
+	candidates := w.cands[:0]
+	for slot := int32(0); slot < int32(len(ns.keys)); slot++ {
+		if !ns.live(slot) || ns.ts[slot] > deadline {
+			continue
+		}
+		key := ns.keys[slot]
+		candidates = append(candidates, key)
+		// Pre-pass liveness, as in RAPQ.expireTree: suppresses
+		// re-match emissions for pairs this pass cuts and
+		// reconnects. Tree-local state, so safe on a worker.
+		if e.a.Final[key.state()] {
+			if _, seen := tx.preLive[key.vertex()]; !seen {
+				if tx.preLive == nil {
+					tx.preLive = make(map[stream.VertexID]bool)
 				}
+				tx.preLive[key.vertex()] = e.isLive(tx, key.vertex(), deadline)
 			}
 		}
 	}
 	if len(candidates) == 0 {
+		w.cands = candidates
 		tx.preLive = nil
 		return
 	}
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
 	for _, key := range candidates {
-		e.remove(tx, key, tx.nodes[key])
+		e.remove(tx, ns.lookup(key))
 	}
 	for _, key := range candidates {
 		v, t := key.vertex(), key.state()
-		var bestParent *treeNode
+		bestParent := int32(-1)
+		var bestKey nodeKey
 		var bestEdgeTS, bestTS int64
-		e.g.InAt(e.epoch, v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
-			if ts <= deadline || ts > e.now {
-				return true
+		w.inBuf = e.g.AppendInAt(e.epoch, v, w.inBuf[:0])
+		for _, he := range w.inBuf {
+			if he.TS <= deadline || he.TS > e.now {
+				continue
 			}
-			if l < 0 || int(l) >= len(e.rev) {
-				return true // label bound after this member: outside its ΣQ
+			if he.L < 0 || int(he.L) >= len(e.rev) {
+				continue // label bound after this member: outside its ΣQ
 			}
-			rt := e.rev[l]
+			rt := e.rev[he.L]
 			if rt == nil {
-				return true
+				continue
 			}
 			for _, s := range rt[t] {
-				parent, ok := tx.nodes[mkNodeKey(u, s)]
-				if !ok || parent.ts <= deadline {
+				pk := mkNodeKey(he.V, s)
+				pslot := ns.lookup(pk)
+				if pslot < 0 || ns.ts[pslot] <= deadline {
 					continue
 				}
-				offer := min(ts, parent.ts)
-				if bestParent == nil || offer > bestTS ||
-					(offer == bestTS && mkNodeKey(parent.v, parent.s) < mkNodeKey(bestParent.v, bestParent.s)) {
-					bestParent, bestEdgeTS, bestTS = parent, ts, offer
+				offer := min(he.TS, ns.ts[pslot])
+				if bestParent < 0 || offer > bestTS ||
+					(offer == bestTS && pk < bestKey) {
+					bestParent, bestKey, bestEdgeTS, bestTS = pslot, pk, he.TS, offer
 				}
 			}
-			return true
-		})
-		if bestParent != nil {
+		}
+		if bestParent >= 0 {
 			p.insertConcurrent(tx, bestParent, v, t, bestEdgeTS, deadline, w)
 		}
 	}
+	w.cands = candidates[:0]
 	// Window expiry retracts nothing (implicit window semantics); the
 	// pre-pass liveness map only served match suppression above.
 	tx.preLive = nil

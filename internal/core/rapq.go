@@ -20,23 +20,14 @@ const rootTS = int64(math.MaxInt64)
 // expired candidates.
 const expiredTS = int64(math.MinInt64)
 
-// treeNode is a node (vertex, state) of a spanning tree Tx ∈ Δ. Its
-// timestamp is the minimum edge timestamp along the tree path from the
-// root (Definition 9's path timestamp).
-type treeNode struct {
-	v        stream.VertexID
-	s        int32
-	ts       int64
-	parent   nodeKey
-	children map[nodeKey]struct{}
-}
-
 // tree is one spanning tree Tx of the Δ index, rooted at (x, s0). The
 // second invariant of Lemma 1 guarantees each (vertex,state) node
-// appears at most once, so nodes are keyed by nodeKey.
+// appears at most once, so nodes are keyed by nodeKey; they live in a
+// struct-of-arrays store (tree_store.go) and are addressed by slot on
+// the hot paths.
 type tree struct {
 	root   stream.VertexID
-	nodes  map[nodeKey]*treeNode
+	ns     treeStore
 	vcount map[stream.VertexID]int32 // instances per vertex, for the inverted index
 
 	// support counts the final-state witness nodes per result vertex
@@ -94,15 +85,25 @@ type RAPQ struct {
 	// Exists for the ablation experiment; keep it off otherwise.
 	scanAllTrees bool
 
-	// insertStack is reused across tuples to avoid per-tuple
-	// allocation of the explicit DFS stack.
+	// Reused scratch buffers: the explicit DFS stack of the insert
+	// cascade, the adjacency copies of the buffer-based traversal API
+	// (graph.AppendOutAt/AppendInAt), the expiry candidate list and the
+	// subtree-marking stack. Steady-state processing allocates nothing
+	// per edge once these have grown (asserted by alloc_test.go).
 	insertStack []insertOp
-	// scratch root ids snapshot
+	outScratch  []graph.HalfEdge
+	inScratch   []graph.HalfEdge
+	candScratch []nodeKey
+	slotScratch []int32
 	rootScratch []stream.VertexID
 }
 
+// insertOp is one pending step of the insert cascade. parent is a
+// treeStore slot: slots are stable for the duration of a cascade (no
+// node is released mid-insert), which saves the key→slot probe the
+// pointer-based representation paid per step.
 type insertOp struct {
-	parent nodeKey
+	parent int32
 	v      stream.VertexID
 	t      int32
 	edgeTS int64
@@ -235,7 +236,7 @@ func (e *RAPQ) Stats() Stats {
 	s.Trees = len(e.trees)
 	s.Nodes = 0
 	for _, tx := range e.trees {
-		s.Nodes += len(tx.nodes)
+		s.Nodes += tx.ns.size()
 	}
 	s.Edges = e.g.NumEdges()
 	s.Vertices = e.g.NumVertices()
@@ -311,11 +312,11 @@ func (e *RAPQ) ApplyInsert(t stream.Tuple) {
 			continue
 		}
 		for _, tr := range e.a.ByLabel[t.Label] {
-			parent, ok := tx.nodes[mkNodeKey(t.Src, tr.From)]
-			if !ok || parent.ts <= validFrom {
+			pslot := tx.ns.lookup(mkNodeKey(t.Src, tr.From))
+			if pslot < 0 || tx.ns.ts[pslot] <= validFrom {
 				continue // line 6: parent must be in the window
 			}
-			e.insert(tx, parent, t.Dst, tr.To, t.TS, validFrom)
+			e.insert(tx, pslot, t.Dst, tr.To, t.TS, validFrom)
 		}
 	}
 }
@@ -327,12 +328,12 @@ func (e *RAPQ) ensureTree(x stream.VertexID) *tree {
 	}
 	tx := &tree{
 		root:    x,
-		nodes:   make(map[nodeKey]*treeNode),
 		vcount:  make(map[stream.VertexID]int32),
 		support: make(map[stream.VertexID]int32),
 	}
-	rk := mkNodeKey(x, e.a.Start)
-	tx.nodes[rk] = &treeNode{v: x, s: e.a.Start, ts: rootTS, parent: rk}
+	tx.ns.init()
+	slot := tx.ns.alloc(mkNodeKey(x, e.a.Start), rootTS, 0)
+	tx.ns.parent[slot] = slot // root parent: self-sentinel
 	tx.vcount[x] = 1
 	e.trees[x] = tx
 	e.addInv(x, x)
@@ -360,7 +361,7 @@ func (e *RAPQ) isLive(tx *tree, v stream.VertexID, validFrom int64) bool {
 		if v == tx.root && s == e.a.Start {
 			continue // the root witnesses only the empty path
 		}
-		if n, ok := tx.nodes[mkNodeKey(v, s)]; ok && n.ts > validFrom {
+		if slot := tx.ns.lookup(mkNodeKey(v, s)); slot >= 0 && tx.ns.ts[slot] > validFrom {
 			return true
 		}
 	}
@@ -368,9 +369,12 @@ func (e *RAPQ) isLive(tx *tree, v stream.VertexID, validFrom int64) bool {
 }
 
 // insert is Algorithm Insert, run with an explicit stack. It adds
-// (v,t) to tx as a child of parent (or improves its timestamp and
-// re-parents it), reports results for final states, and expands the
-// node's out-edges transitively.
+// (v,t) to tx as a child of the node in slot parent (or improves its
+// timestamp and re-parents it), reports results for final states, and
+// expands the node's out-edges transitively. Expansion goes through
+// graph.AppendOutAt into a reused buffer: the adjacency copy is taken
+// once under the graph's stripe lock, then consumed lock-free with no
+// per-edge closure or map lookup.
 //
 // Deviation from the paper (documented in DESIGN.md): timestamp
 // improvements of existing nodes are propagated recursively rather than
@@ -385,48 +389,44 @@ func (e *RAPQ) isLive(tx *tree, v stream.VertexID, validFrom int64) bool {
 // tree shape — are a pure function of the stream prefix. The sharded
 // multi-query coordinator relies on that canonicity for deterministic
 // result streams.
-func (e *RAPQ) insert(tx *tree, parent *treeNode, v stream.VertexID, t int32, edgeTS int64, validFrom int64) {
+func (e *RAPQ) insert(tx *tree, parent int32, v stream.VertexID, t int32, edgeTS int64, validFrom int64) {
+	ns := &tx.ns
 	stack := e.insertStack[:0]
-	stack = append(stack, insertOp{parent: mkNodeKey(parent.v, parent.s), v: v, t: t, edgeTS: edgeTS})
+	stack = append(stack, insertOp{parent: parent, v: v, t: t, edgeTS: edgeTS})
 
 	for len(stack) > 0 {
 		op := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 
-		par := tx.nodes[op.parent]
-		if par == nil {
-			continue
-		}
-		newTS := min(op.edgeTS, par.ts)
+		newTS := min(op.edgeTS, ns.ts[op.parent])
 		key := mkNodeKey(op.v, op.t)
-		node, exists := tx.nodes[key]
-		if exists && node.ts >= newTS {
+		slot := ns.lookup(key)
+		if slot >= 0 && ns.ts[slot] >= newTS {
 			continue // line 7/9: no improvement possible
 		}
 		e.stats.InsertCalls++
 
-		if exists {
+		if slot >= 0 {
 			// A stale witness re-entering the window flips the pair
 			// (root, v) live again; under lazy expiry this refresh is
 			// the only trace of that transition, so it must emit here
 			// exactly when no other in-window witness already covers it.
-			if e.a.Final[op.t] && node.ts <= validFrom && newTS > validFrom &&
+			if e.a.Final[op.t] && ns.ts[slot] <= validFrom && newTS > validFrom &&
 				!tx.preLive[op.v] && !e.isLive(tx, op.v, validFrom) {
 				e.emit(tx.root, op.v)
 			}
 			// Timestamp refresh: re-parent to the fresher path.
-			e.detach(tx, node)
-			node.ts = newTS
-			node.parent = op.parent
-			e.attach(par, key)
+			ns.detach(slot)
+			ns.ts[slot] = newTS
+			ns.parent[slot] = op.parent
+			ns.attach(op.parent, slot)
 		} else {
 			wasLive := false
 			if e.a.Final[op.t] {
 				wasLive = tx.preLive[op.v] || e.isLive(tx, op.v, validFrom)
 			}
-			node = &treeNode{v: op.v, s: op.t, ts: newTS, parent: op.parent}
-			tx.nodes[key] = node
-			e.attach(par, key)
+			slot = ns.alloc(key, newTS, op.parent)
+			ns.attach(op.parent, slot)
 			tx.vcount[op.v]++
 			if tx.vcount[op.v] == 1 {
 				e.addInv(op.v, tx.root)
@@ -445,57 +445,48 @@ func (e *RAPQ) insert(tx *tree, parent *treeNode, v stream.VertexID, t int32, ed
 		// of the tuple being applied, so edges with ts > e.now have not
 		// arrived yet from this engine's point of view and are skipped.
 		// Sequentially both filters are vacuous (epoch 0, no edge
-		// outruns the stream clock).
-		e.g.OutAt(e.epoch, op.v, func(w stream.VertexID, l stream.LabelID, ts int64) bool {
-			if ts <= validFrom || ts > e.now {
-				return true // expired or not-yet-arrived: not in W_{G,τ}
+		// outruns the stream clock). The scratch buffer is fully
+		// consumed into stack pushes before the next AppendOutAt reuses
+		// it.
+		e.outScratch = e.g.AppendOutAt(e.epoch, op.v, e.outScratch[:0])
+		nodeTS := ns.ts[slot]
+		for _, he := range e.outScratch {
+			if he.TS <= validFrom || he.TS > e.now {
+				continue // expired or not-yet-arrived: not in W_{G,τ}
 			}
-			if l < 0 || int(l) >= len(e.a.ByLabel) {
-				return true // label bound after this member: outside its ΣQ
+			if he.L < 0 || int(he.L) >= len(e.a.ByLabel) {
+				continue // label bound after this member: outside its ΣQ
 			}
-			q := e.a.Trans[op.t][l]
+			q := e.a.Trans[op.t][he.L]
 			if q == automaton.NoState {
-				return true
+				continue
 			}
-			childTS := min(node.ts, ts)
-			if child, ok := tx.nodes[mkNodeKey(w, q)]; !ok || child.ts < childTS {
-				stack = append(stack, insertOp{parent: key, v: w, t: q, edgeTS: ts})
+			childTS := min(nodeTS, he.TS)
+			if cs := ns.lookup(mkNodeKey(he.V, q)); cs < 0 || ns.ts[cs] < childTS {
+				stack = append(stack, insertOp{parent: slot, v: he.V, t: q, edgeTS: he.TS})
 			}
-			return true
-		})
+		}
 	}
 	e.insertStack = stack[:0]
 }
 
-func (e *RAPQ) attach(parent *treeNode, child nodeKey) {
-	if parent.children == nil {
-		parent.children = make(map[nodeKey]struct{})
-	}
-	parent.children[child] = struct{}{}
-}
-
-// detach unlinks node from its current parent (the node stays in the
-// tree maps).
-func (e *RAPQ) detach(tx *tree, node *treeNode) {
-	if par := tx.nodes[node.parent]; par != nil {
-		delete(par.children, mkNodeKey(node.v, node.s))
-	}
-}
-
-// remove deletes the node from the tree entirely, maintaining the
-// inverted index and the per-vertex witness support counts.
-func (e *RAPQ) remove(tx *tree, key nodeKey, node *treeNode) {
-	e.detach(tx, node)
-	delete(tx.nodes, key)
-	if e.a.Final[node.s] && !(node.v == tx.root && node.s == e.a.Start) {
-		if tx.support[node.v]--; tx.support[node.v] == 0 {
-			delete(tx.support, node.v)
+// remove deletes the node in slot from the tree entirely, maintaining
+// the inverted index and the per-vertex witness support counts.
+func (e *RAPQ) remove(tx *tree, slot int32) {
+	ns := &tx.ns
+	key := ns.keys[slot]
+	v, s := key.vertex(), key.state()
+	ns.detach(slot)
+	ns.release(slot)
+	if e.a.Final[s] && !(v == tx.root && s == e.a.Start) {
+		if tx.support[v]--; tx.support[v] == 0 {
+			delete(tx.support, v)
 		}
 	}
-	tx.vcount[node.v]--
-	if tx.vcount[node.v] == 0 {
-		delete(tx.vcount, node.v)
-		e.dropInv(node.v, tx.root)
+	tx.vcount[v]--
+	if tx.vcount[v] == 0 {
+		delete(tx.vcount, v)
+		e.dropInv(v, tx.root)
 	}
 }
 
@@ -515,8 +506,8 @@ func (e *RAPQ) ApplyExpiry(deadline int64) {
 	e.deadline = deadline
 	for root, tx := range e.trees {
 		e.expireTree(tx, deadline, false)
-		if len(tx.nodes) == 1 { // root-only: no valid start edge remains
-			e.remove(tx, mkNodeKey(root, e.a.Start), tx.nodes[mkNodeKey(root, e.a.Start)])
+		if tx.ns.size() == 1 { // root-only: no valid start edge remains
+			e.remove(tx, tx.ns.lookup(mkNodeKey(root, e.a.Start)))
 			delete(e.trees, root)
 		}
 	}
@@ -525,40 +516,46 @@ func (e *RAPQ) ApplyExpiry(deadline int64) {
 
 // expireTree is Algorithm ExpiryRAPQ for one spanning tree.
 func (e *RAPQ) expireTree(tx *tree, deadline int64, invalidate bool) {
+	ns := &tx.ns
 	// Line 2: candidates with out-of-window timestamps. A child's
 	// timestamp never exceeds its parent's, so candidates form whole
 	// subtrees.
-	var candidates []nodeKey
-	for key, node := range tx.nodes {
-		if node.ts <= deadline {
-			candidates = append(candidates, key)
-			// Record, before any pruning, whether each pair about to
-			// lose a final witness was live when the pass started.
-			// Delete-marked subtrees were recorded by markSubtree while
-			// their timestamps were still intact; everything else is
-			// genuinely stale and recorded here.
-			if e.a.Final[node.s] {
-				if _, seen := tx.preLive[node.v]; !seen {
-					if tx.preLive == nil {
-						tx.preLive = make(map[stream.VertexID]bool)
-					}
-					tx.preLive[node.v] = e.isLive(tx, node.v, deadline)
+	candidates := e.candScratch[:0]
+	for slot := int32(0); slot < int32(len(ns.keys)); slot++ {
+		if !ns.live(slot) || ns.ts[slot] > deadline {
+			continue
+		}
+		key := ns.keys[slot]
+		candidates = append(candidates, key)
+		// Record, before any pruning, whether each pair about to
+		// lose a final witness was live when the pass started.
+		// Delete-marked subtrees were recorded by markSubtree while
+		// their timestamps were still intact; everything else is
+		// genuinely stale and recorded here.
+		if e.a.Final[key.state()] {
+			if _, seen := tx.preLive[key.vertex()]; !seen {
+				if tx.preLive == nil {
+					tx.preLive = make(map[stream.VertexID]bool)
 				}
+				tx.preLive[key.vertex()] = e.isLive(tx, key.vertex(), deadline)
 			}
 		}
 	}
 	if len(candidates) == 0 {
+		e.candScratch = candidates
 		tx.preLive = nil
 		return
 	}
 	// Canonical candidate order: the reconnection below converges to the
 	// same witness set and timestamps in any order, but visiting keys in
 	// sorted order makes the sequential emission order within the pass a
-	// pure function of the stream as well.
+	// pure function of the stream as well. (Slot order is mutation-
+	// history order, which sub-batch pipelining does not canonicalize.)
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
-	// Line 3: prune all candidates from the tree.
+	// Line 3: prune all candidates from the tree. Every release happens
+	// before any reconnection insert allocates, so slots never dangle.
 	for _, key := range candidates {
-		e.remove(tx, key, tx.nodes[key])
+		e.remove(tx, ns.lookup(key))
 	}
 	// Lines 4–9: try to reconnect each candidate through a valid edge
 	// from a valid node. Insert re-adds reachable descendants with
@@ -569,39 +566,42 @@ func (e *RAPQ) expireTree(tx *tree, deadline int64, invalidate bool) {
 	// regardless of the order candidates are visited in. (Offers from
 	// parents that are themselves re-added later arrive through those
 	// parents' improvement cascades.)
+	byTarget := e.rev // rev[label][t] = sources
 	for _, key := range candidates {
 		v, t := key.vertex(), key.state()
-		byTarget := e.rev // rev[label][t] = sources
-		var bestParent *treeNode
+		bestParent := int32(-1)
+		var bestKey nodeKey
 		var bestEdgeTS, bestTS int64
-		e.g.InAt(e.epoch, v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
-			if ts <= deadline || ts > e.now {
-				return true // expired, or not yet arrived (batched graph)
+		e.inScratch = e.g.AppendInAt(e.epoch, v, e.inScratch[:0])
+		for _, he := range e.inScratch {
+			if he.TS <= deadline || he.TS > e.now {
+				continue // expired, or not yet arrived (batched graph)
 			}
-			if l < 0 || int(l) >= len(byTarget) {
-				return true // label bound after this member: outside its ΣQ
+			if he.L < 0 || int(he.L) >= len(byTarget) {
+				continue // label bound after this member: outside its ΣQ
 			}
-			rt := byTarget[l]
+			rt := byTarget[he.L]
 			if rt == nil {
-				return true
+				continue
 			}
 			for _, s := range rt[t] {
-				parent, ok := tx.nodes[mkNodeKey(u, s)]
-				if !ok || parent.ts <= deadline {
+				pk := mkNodeKey(he.V, s)
+				pslot := ns.lookup(pk)
+				if pslot < 0 || ns.ts[pslot] <= deadline {
 					continue
 				}
-				offer := min(ts, parent.ts)
-				if bestParent == nil || offer > bestTS ||
-					(offer == bestTS && mkNodeKey(parent.v, parent.s) < mkNodeKey(bestParent.v, bestParent.s)) {
-					bestParent, bestEdgeTS, bestTS = parent, ts, offer
+				offer := min(he.TS, ns.ts[pslot])
+				if bestParent < 0 || offer > bestTS ||
+					(offer == bestTS && pk < bestKey) {
+					bestParent, bestKey, bestEdgeTS, bestTS = pslot, pk, he.TS, offer
 				}
 			}
-			return true
-		})
-		if bestParent != nil {
+		}
+		if bestParent >= 0 {
 			e.insert(tx, bestParent, v, t, bestEdgeTS, deadline)
 		}
 	}
+	e.candScratch = candidates[:0]
 	// Lines 11–15, canonicalized: a pair (x,v) is retracted exactly when
 	// it was live before the deletion and no in-window final witness
 	// survived pruning + reconnection. The decision depends only on the
@@ -646,6 +646,7 @@ func (e *RAPQ) ApplyDelete(t stream.Tuple) {
 		if tx == nil {
 			continue
 		}
+		ns := &tx.ns
 		touched := false
 		rootKey := mkNodeKey(tx.root, e.a.Start)
 		// Lines 2–8: find tree edges matching the deleted edge and mark
@@ -656,11 +657,15 @@ func (e *RAPQ) ApplyDelete(t stream.Tuple) {
 				continue // the root has no incoming tree edge (its
 				// parent pointer is a self-sentinel)
 			}
-			child, ok := tx.nodes[childKey]
-			if !ok || child.parent != mkNodeKey(t.Src, tr.From) {
+			childSlot := ns.lookup(childKey)
+			if childSlot < 0 {
+				continue
+			}
+			pslot := ns.lookup(mkNodeKey(t.Src, tr.From))
+			if pslot < 0 || ns.parent[childSlot] != pslot {
 				continue // not a tree edge w.r.t. Tx (Definition 13)
 			}
-			e.markSubtree(tx, mkNodeKey(t.Dst, tr.To), validFrom)
+			e.markSubtree(tx, childSlot, validFrom)
 			touched = true
 		}
 		if !touched {
@@ -668,40 +673,39 @@ func (e *RAPQ) ApplyDelete(t stream.Tuple) {
 		}
 		// Line 9: uniform handling through ExpiryRAPQ.
 		e.expireTree(tx, validFrom, true)
-		if len(tx.nodes) == 1 {
-			e.remove(tx, mkNodeKey(tx.root, e.a.Start), tx.nodes[mkNodeKey(tx.root, e.a.Start)])
+		if ns.size() == 1 {
+			e.remove(tx, ns.lookup(rootKey))
 			delete(e.trees, root)
 		}
 	}
 }
 
-// markSubtree sets the timestamps of the subtree rooted at key to -∞,
+// markSubtree sets the timestamps of the subtree rooted at slot to -∞,
 // marking every node in it as expired (Algorithm Delete lines 4–7).
 // Before overwriting a final witness's timestamp it records whether its
 // pair was live, so the invalidation pass of expireTree decides against
 // the pre-deletion window state rather than the clobbered one.
-func (e *RAPQ) markSubtree(tx *tree, key nodeKey, validFrom int64) {
-	stack := []nodeKey{key}
+func (e *RAPQ) markSubtree(tx *tree, slot int32, validFrom int64) {
+	ns := &tx.ns
+	stack := append(e.slotScratch[:0], slot)
 	for len(stack) > 0 {
-		k := stack[len(stack)-1]
+		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		node := tx.nodes[k]
-		if node == nil {
-			continue
-		}
-		if e.a.Final[node.s] {
-			if _, seen := tx.preLive[node.v]; !seen {
+		key := ns.keys[s]
+		if e.a.Final[key.state()] {
+			if _, seen := tx.preLive[key.vertex()]; !seen {
 				if tx.preLive == nil {
 					tx.preLive = make(map[stream.VertexID]bool)
 				}
-				tx.preLive[node.v] = e.isLive(tx, node.v, validFrom)
+				tx.preLive[key.vertex()] = e.isLive(tx, key.vertex(), validFrom)
 			}
 		}
-		node.ts = expiredTS
-		for child := range node.children {
-			stack = append(stack, child)
+		ns.ts[s] = expiredTS
+		for c := ns.firstChild[s]; c >= 0; c = ns.nextSib[c] {
+			stack = append(stack, c)
 		}
 	}
+	e.slotScratch = stack[:0]
 }
 
 var _ Engine = (*RAPQ)(nil)

@@ -123,13 +123,13 @@ func TestRAPQTreeTimestamps(t *testing.T) {
 		mkNodeKey(5, 2): 6,  // (w,2)
 	}
 	for key, want := range wantTS {
-		node := tx.nodes[key]
-		if node == nil {
+		ts, ok := tx.nodeTS(key)
+		if !ok {
 			t.Errorf("node (%d,%d) missing", key.vertex(), key.state())
 			continue
 		}
-		if node.ts != want {
-			t.Errorf("node (%d,%d).ts = %d, want %d", key.vertex(), key.state(), node.ts, want)
+		if ts != want {
+			t.Errorf("node (%d,%d).ts = %d, want %d", key.vertex(), key.state(), ts, want)
 		}
 	}
 }
@@ -149,17 +149,17 @@ func TestRAPQExpiryReconnect(t *testing.T) {
 	}
 	// After t=19: (u,1) under (w,2), (x,2) under (u,1).
 	for _, k := range []nodeKey{mkNodeKey(3, 1), mkNodeKey(0, 2)} {
-		if tx.nodes[k] == nil {
+		if _, ok := tx.nodeTS(k); !ok {
 			t.Errorf("node (%d,%d) missing after t=19", k.vertex(), k.state())
 		}
 	}
 	// (u,2) still present (reconnected through (z,1)).
-	n := tx.nodes[mkNodeKey(3, 2)]
-	if n == nil {
+	pk, ok := tx.nodeParent(mkNodeKey(3, 2))
+	if !ok {
 		t.Fatal("(u,2) missing after expiry")
 	}
-	if n.parent != mkNodeKey(2, 1) {
-		t.Errorf("(u,2) parent = (%d,%d), want (z,1)", n.parent.vertex(), n.parent.state())
+	if pk != mkNodeKey(2, 1) {
+		t.Errorf("(u,2) parent = (%d,%d), want (z,1)", pk.vertex(), pk.state())
 	}
 }
 
@@ -207,14 +207,14 @@ func replayOracle(t *testing.T, a *automaton.Bound, spec window.Spec, tuples []s
 			live := map[Pair]struct{}{}
 			for root, tx := range e.trees {
 				rootKey := mkNodeKey(root, a.Start)
-				for key := range tx.nodes {
+				tx.forEachNode(func(key nodeKey, ts int64) {
 					if key == rootKey {
-						continue // the empty path is not a result
+						return // the empty path is not a result
 					}
-					if a.Final[key.state()] && tx.nodes[key].ts > tu.TS-spec.Size {
+					if a.Final[key.state()] && ts > tu.TS-spec.Size {
 						live[Pair{From: root, To: key.vertex()}] = struct{}{}
 					}
-				}
+				})
 			}
 			for p := range snap {
 				if _, ok := live[p]; !ok {
@@ -417,7 +417,7 @@ func TestRAPQDuplicateEdgeRefresh(t *testing.T) {
 	if tx == nil {
 		t.Fatal("tree gone after refresh")
 	}
-	if n := tx.nodes[mkNodeKey(2, 1)]; n == nil || n.ts != 11 {
-		t.Fatalf("(2,1) not refreshed: %+v", n)
+	if ts, ok := tx.nodeTS(mkNodeKey(2, 1)); !ok || ts != 11 {
+		t.Fatalf("(2,1) not refreshed: ts=%d ok=%v", ts, ok)
 	}
 }

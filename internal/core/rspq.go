@@ -79,6 +79,12 @@ type RSPQ struct {
 
 	instScratch []*spNode
 	rootScratch []stream.VertexID
+	// heScratch is the reused adjacency buffer of the graph's
+	// AppendOutAt/AppendInAt traversal API. It is safe to share across
+	// the recursive Extend/Unmark cascade: every use fully drains the
+	// buffer into an independent slice (conts, offers) before anything
+	// that could refill it runs.
+	heScratch []graph.HalfEdge
 }
 
 // NewRSPQ returns an RSPQ engine for the bound automaton and window
@@ -366,17 +372,17 @@ func (e *RSPQ) extend(tx *sptree, parent *spNode, v stream.VertexID, t int32, ed
 	// the expansion order must be a pure function of the stream, not of
 	// the adjacency map's iteration order.
 	var conts []spCont
-	e.g.OutAt(e.epoch, v, func(w stream.VertexID, l stream.LabelID, ts int64) bool {
-		if ts <= validFrom {
-			return true
+	e.heScratch = e.g.AppendOutAt(e.epoch, v, e.heScratch[:0])
+	for _, he := range e.heScratch {
+		if he.TS <= validFrom {
+			continue
 		}
-		r := e.a.Trans[t][l]
+		r := e.a.Trans[t][he.L]
 		if r == automaton.NoState {
-			return true
+			continue
 		}
-		conts = append(conts, spCont{w: w, r: r, l: l, ts: ts})
-		return true
-	})
+		conts = append(conts, spCont{w: he.V, r: r, l: he.L, ts: he.TS})
+	}
 	sort.Slice(conts, func(i, j int) bool {
 		ki, kj := mkNodeKey(conts[i].w, conts[i].r), mkNodeKey(conts[j].w, conts[j].r)
 		if ki != kj {
@@ -449,16 +455,17 @@ type spOffer struct {
 // traversal — a pure function of the stream.
 func (e *RSPQ) collectOffers(tx *sptree, v stream.VertexID, t int32, validFrom int64) []spOffer {
 	var offers []spOffer
-	e.g.InAt(e.epoch, v, func(u stream.VertexID, l stream.LabelID, ts int64) bool {
-		if ts <= validFrom {
-			return true
+	e.heScratch = e.g.AppendInAt(e.epoch, v, e.heScratch[:0])
+	for _, he := range e.heScratch {
+		if he.TS <= validFrom {
+			continue
 		}
-		rt := e.rev[l]
+		rt := e.rev[he.L]
 		if rt == nil {
-			return true
+			continue
 		}
 		for _, s := range rt[t] {
-			pk := mkNodeKey(u, s)
+			pk := mkNodeKey(he.V, s)
 			for i, p := range tx.inst[pk] {
 				if p.dead || p.ts <= validFrom {
 					continue
@@ -467,13 +474,12 @@ func (e *RSPQ) collectOffers(tx *sptree, v stream.VertexID, t int32, validFrom i
 					continue
 				}
 				offers = append(offers, spOffer{
-					offer: min(ts, p.ts), pkey: pk, pidx: int32(i),
-					l: l, ts: ts, parent: p,
+					offer: min(he.TS, p.ts), pkey: pk, pidx: int32(i),
+					l: he.L, ts: he.TS, parent: p,
 				})
 			}
 		}
-		return true
-	})
+	}
 	sort.Slice(offers, func(i, j int) bool {
 		a, b := offers[i], offers[j]
 		if a.offer != b.offer {

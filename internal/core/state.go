@@ -124,20 +124,22 @@ func (e *RAPQ) SnapshotState() *RAPQState {
 	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
 	for _, root := range roots {
 		tx := e.trees[root]
-		ts := TreeState{Root: root, Nodes: make([]TreeNodeState, 0, len(tx.nodes)-1)}
+		ns := &tx.ns
+		ts := TreeState{Root: root, Nodes: make([]TreeNodeState, 0, ns.size()-1)}
 		rootKey := mkNodeKey(root, e.a.Start)
-		keys := make([]nodeKey, 0, len(tx.nodes))
-		for key := range tx.nodes {
-			if key != rootKey {
-				keys = append(keys, key)
+		keys := make([]nodeKey, 0, ns.size())
+		for slot := int32(0); slot < int32(len(ns.keys)); slot++ {
+			if ns.live(slot) && ns.keys[slot] != rootKey {
+				keys = append(keys, ns.keys[slot])
 			}
 		}
 		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 		for _, key := range keys {
-			n := tx.nodes[key]
+			slot := ns.lookup(key)
+			pk := ns.keys[ns.parent[slot]]
 			ts.Nodes = append(ts.Nodes, TreeNodeState{
-				V: n.v, S: n.s, TS: n.ts,
-				ParentV: n.parent.vertex(), ParentS: n.parent.state(),
+				V: key.vertex(), S: key.state(), TS: ns.ts[slot],
+				ParentV: pk.vertex(), ParentS: pk.state(),
 			})
 		}
 		ts.Support = supportStateOf(tx.support)
@@ -188,31 +190,34 @@ func (e *RAPQ) RestoreState(st *RAPQState) error {
 	st.Stats.apply(&e.stats)
 	for _, ts := range st.Trees {
 		tx := e.ensureTree(ts.Root)
-		// First pass: materialize every node so parents resolve
-		// regardless of order.
-		for _, ns := range ts.Nodes {
-			key := mkNodeKey(ns.V, ns.S)
-			if _, dup := tx.nodes[key]; dup {
-				return fmt.Errorf("core: restore: duplicate node (%d,%d) in tree %d", ns.V, ns.S, ts.Root)
+		store := &tx.ns
+		// First pass: materialize every node (parent slots resolve in
+		// the second pass, once every node has one).
+		for _, n := range ts.Nodes {
+			key := mkNodeKey(n.V, n.S)
+			if store.lookup(key) >= 0 {
+				return fmt.Errorf("core: restore: duplicate node (%d,%d) in tree %d", n.V, n.S, ts.Root)
 			}
-			tx.nodes[key] = &treeNode{v: ns.V, s: ns.S, ts: ns.TS, parent: mkNodeKey(ns.ParentV, ns.ParentS)}
-			tx.vcount[ns.V]++
-			if tx.vcount[ns.V] == 1 {
-				e.addInv(ns.V, tx.root)
+			slot := store.alloc(key, n.TS, 0)
+			store.parent[slot] = slot // placeholder until linked below
+			tx.vcount[n.V]++
+			if tx.vcount[n.V] == 1 {
+				e.addInv(n.V, tx.root)
 			}
-			if e.a.Final[ns.S] {
-				tx.support[ns.V]++ // Nodes never contains the root
+			if e.a.Final[n.S] {
+				tx.support[n.V]++ // Nodes never contains the root
 			}
 		}
 		// Second pass: link children and validate parents.
-		for _, ns := range ts.Nodes {
-			key := mkNodeKey(ns.V, ns.S)
-			par := tx.nodes[mkNodeKey(ns.ParentV, ns.ParentS)]
-			if par == nil {
+		for _, n := range ts.Nodes {
+			slot := store.lookup(mkNodeKey(n.V, n.S))
+			pslot := store.lookup(mkNodeKey(n.ParentV, n.ParentS))
+			if pslot < 0 {
 				return fmt.Errorf("core: restore: node (%d,%d) in tree %d has missing parent (%d,%d)",
-					ns.V, ns.S, ts.Root, ns.ParentV, ns.ParentS)
+					n.V, n.S, ts.Root, n.ParentV, n.ParentS)
 			}
-			e.attach(par, key)
+			store.parent[slot] = pslot
+			store.attach(pslot, slot)
 		}
 		if err := checkSupport(tx.support, ts.Support, ts.Root); err != nil {
 			return err

@@ -1,0 +1,146 @@
+package core
+
+// treeStore holds the nodes of one RAPQ spanning tree in
+// struct-of-arrays form: parallel slot-indexed arrays for the hot
+// fields (key, timestamp, parent) plus intrusive sibling lists for the
+// child sets, replacing the per-node heap objects and per-node child
+// maps of the pointer-based representation. The insert cascade touches
+// ts/parent/keys as flat array reads with no pointer chasing; only the
+// key→slot map remains a hash probe, and lookups that already hold a
+// slot skip it entirely.
+//
+// Slot lifecycle: alloc returns a free slot (reusing released ones),
+// release marks a slot free (parent == freeSlot) and recycles it
+// later. Slots are stable while a node lives, and nothing is released
+// during an insert cascade, so the cascade's explicit stack can carry
+// parent slots instead of keys. The expiry pass releases candidate
+// slots strictly before its reconnection inserts allocate, and
+// candidates always form whole subtrees, so no live node ever points
+// at a released slot.
+type treeStore struct {
+	idx  map[nodeKey]int32 // key → slot for the lookups that need it
+	keys []nodeKey
+	ts   []int64
+	// parent is the parent's slot; the root is its own parent
+	// (self-sentinel), freeSlot marks a released slot.
+	parent []int32
+	// Child sets as intrusive doubly-linked sibling lists: firstChild
+	// heads a node's children, nextSib/prevSib link siblings.
+	firstChild []int32
+	nextSib    []int32
+	prevSib    []int32
+	free       []int32
+}
+
+// freeSlot marks a released slot in the parent array; live nodes always
+// have a real parent slot (the root points at itself).
+const freeSlot = int32(-1)
+
+func (ns *treeStore) init() { ns.idx = make(map[nodeKey]int32) }
+
+// size returns the number of live nodes.
+func (ns *treeStore) size() int { return len(ns.idx) }
+
+// lookup returns the slot of key k, or -1.
+func (ns *treeStore) lookup(k nodeKey) int32 {
+	if slot, ok := ns.idx[k]; ok {
+		return slot
+	}
+	return -1
+}
+
+// alloc creates a node with the given key, timestamp and parent slot
+// and returns its slot (not yet linked into the parent's child list).
+func (ns *treeStore) alloc(k nodeKey, ts int64, parent int32) int32 {
+	var slot int32
+	if n := len(ns.free); n > 0 {
+		slot = ns.free[n-1]
+		ns.free = ns.free[:n-1]
+		ns.keys[slot], ns.ts[slot], ns.parent[slot] = k, ts, parent
+		ns.firstChild[slot], ns.nextSib[slot], ns.prevSib[slot] = -1, -1, -1
+	} else {
+		slot = int32(len(ns.keys))
+		ns.keys = append(ns.keys, k)
+		ns.ts = append(ns.ts, ts)
+		ns.parent = append(ns.parent, parent)
+		ns.firstChild = append(ns.firstChild, -1)
+		ns.nextSib = append(ns.nextSib, -1)
+		ns.prevSib = append(ns.prevSib, -1)
+	}
+	ns.idx[k] = slot
+	return slot
+}
+
+// attach links child at the head of parent's sibling list.
+func (ns *treeStore) attach(parent, child int32) {
+	fc := ns.firstChild[parent]
+	ns.nextSib[child] = fc
+	ns.prevSib[child] = -1
+	if fc >= 0 {
+		ns.prevSib[fc] = child
+	}
+	ns.firstChild[parent] = child
+}
+
+// detach unlinks child from its parent's sibling list. A no-op for the
+// root: its parent slot is a self-sentinel and it is never linked into
+// any child list.
+func (ns *treeStore) detach(child int32) {
+	p, n := ns.prevSib[child], ns.nextSib[child]
+	if p >= 0 {
+		ns.nextSib[p] = n
+	} else {
+		par := ns.parent[child]
+		if ns.firstChild[par] != child {
+			return // root self-sentinel: not on any list
+		}
+		ns.firstChild[par] = n
+	}
+	if n >= 0 {
+		ns.prevSib[n] = p
+	}
+	ns.nextSib[child], ns.prevSib[child] = -1, -1
+}
+
+// release frees the slot (the caller must have detached it). The
+// slot's child list is left as-is: a released node's children are
+// always released in the same pass, before any slot is reused.
+func (ns *treeStore) release(slot int32) {
+	delete(ns.idx, ns.keys[slot])
+	ns.parent[slot] = freeSlot
+	ns.free = append(ns.free, slot)
+}
+
+// live reports whether the slot holds a live node (cold-path iteration
+// over all slots).
+func (ns *treeStore) live(slot int32) bool { return ns.parent[slot] != freeSlot }
+
+// nodeTS returns the timestamp of the node keyed k and whether it
+// exists (white-box test access).
+func (tx *tree) nodeTS(k nodeKey) (int64, bool) {
+	slot := tx.ns.lookup(k)
+	if slot < 0 {
+		return 0, false
+	}
+	return tx.ns.ts[slot], true
+}
+
+// nodeParent returns the key of the node's parent and whether the node
+// exists (white-box test access).
+func (tx *tree) nodeParent(k nodeKey) (nodeKey, bool) {
+	slot := tx.ns.lookup(k)
+	if slot < 0 {
+		return 0, false
+	}
+	return tx.ns.keys[tx.ns.parent[slot]], true
+}
+
+// forEachNode calls f for every live node (white-box test access).
+func (tx *tree) forEachNode(f func(k nodeKey, ts int64)) {
+	ns := &tx.ns
+	for slot := int32(0); slot < int32(len(ns.keys)); slot++ {
+		if ns.live(slot) {
+			f(ns.keys[slot], ns.ts[slot])
+		}
+	}
+}

@@ -28,21 +28,45 @@
 // superseded version is overwritten in place, exactly the pre-epoch
 // behaviour and cost.
 //
+// # Memory layout
+//
+// Adjacency is a flat CSR-style table, not nested maps: vertex ids are
+// dense (stream.Dict assigns them in first-seen order), so a vertex
+// indexes directly into a slab-pointer array, and each vertex's edges
+// live in one contiguous slab of 32-byte pointer-free cells (csr.go).
+// A cell inlines the newest version with its epochs packed as uint32
+// deltas against a per-slab base epoch; superseded versions kept for
+// leased readers overflow into a flat per-slab arena with a free list.
+// Point lookups linearly scan small slabs and use a per-slab index map
+// above lookupThreshold. Traversal is a linear walk of one slab:
+// no map iteration, no pointer chasing, no per-version allocation.
+//
 // # Concurrency
 //
 // All methods are safe for one writer goroutine concurrent with any
-// number of reader goroutines (a sync.RWMutex guards the maps; readers
-// hold the read lock for the duration of one traversal callback loop).
-// Traversal callbacks must not call back into graph read methods when a
-// concurrent writer exists — a recursive read lock can deadlock behind
-// a blocked writer. The stack-based traversals of internal/core's
-// member engines satisfy this; the recursive RSPQ engine only ever
-// owns a private, single-goroutine graph.
+// number of reader goroutines. The single global RWMutex of earlier
+// versions is replaced by a table of 64 stripe RWMutexes: stripe(v)
+// guards vertex v's out- and in-slabs, so concurrent readers of
+// different vertices never contend with each other or (usually) with
+// the writer. The top-level slab table is published via an atomic
+// pointer and grown copy-on-write; slabs never move once allocated.
+//
+// Traversal callbacks (Out/OutAt/In/InAt/Edges/EdgesAt) run while
+// holding the read lock of the vertex's stripe. A callback must not
+// call back into graph read methods for a vertex on the same stripe
+// when a concurrent writer exists — a recursive read-lock on one
+// stripe can still deadlock behind a blocked writer, exactly as with
+// the old global mutex, it is just 64× less likely to collide. Hot
+// paths should prefer AppendOutAt/AppendInAt, which copy the visible
+// half-edges into a caller-owned buffer under the stripe lock and
+// return; the caller then iterates entirely lock-free, which is both
+// reentrancy-safe and allocation-free once the buffer has grown.
 package graph
 
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"streamrpq/internal/stream"
 )
@@ -63,72 +87,57 @@ type Edge struct {
 	TS    int64
 }
 
-// halfKey packs (otherEndpoint, label) into one map key.
-type halfKey uint64
-
-func mkHalfKey(v stream.VertexID, l stream.LabelID) halfKey {
-	return halfKey(uint64(v)<<32 | uint64(uint32(l)))
+// HalfEdge is one adjacency entry as seen from a fixed endpoint: the
+// other endpoint, the label, and the edge timestamp. It is the element
+// type of the buffer-based traversal API (AppendOutAt/AppendInAt).
+type HalfEdge struct {
+	V  stream.VertexID
+	L  stream.LabelID
+	TS int64
 }
 
-func (k halfKey) vertex() stream.VertexID { return stream.VertexID(k >> 32) }
-func (k halfKey) label() stream.LabelID   { return stream.LabelID(uint32(k)) }
+// numStripes is the size of the stripe lock table (power of two).
+const numStripes = 64
 
-// version is one validity interval of an edge: the timestamp it carried
-// and the epoch range [added, removed) during which it is visible.
-type version struct {
-	ts      int64
-	added   Epoch
-	removed Epoch // liveEpoch while current
+// paddedRWMutex keeps each stripe on its own cache lines so reader
+// lock traffic on one stripe never invalidates a neighbour's line.
+type paddedRWMutex struct {
+	sync.RWMutex
+	_ [104]byte // 24-byte RWMutex + padding = 128 bytes
 }
-
-// visibleAt reports whether the version is observable at epoch e.
-func (v version) visibleAt(e Epoch) bool { return v.added <= e && e < v.removed }
-
-// cell is the version chain of one (src,dst,label) edge. The newest
-// version is inline; superseded versions that an active reader may
-// still observe overflow into older (epoch-ascending). In the common
-// unversioned case older is nil and a cell costs one inline version.
-type cell struct {
-	version
-	older []version
-}
-
-// at returns the version of the cell visible at epoch e.
-func (c cell) at(e Epoch) (version, bool) {
-	if c.visibleAt(e) {
-		return c.version, true
-	}
-	for i := len(c.older) - 1; i >= 0; i-- {
-		if c.older[i].visibleAt(e) {
-			return c.older[i], true
-		}
-	}
-	return version{}, false
-}
-
-// live reports whether the cell's newest version is current.
-func (c cell) live() bool { return c.removed == liveEpoch }
 
 // Graph is the snapshot graph of the current window.
 type Graph struct {
-	mu  sync.RWMutex
-	out map[stream.VertexID]map[halfKey]cell // src -> (dst,label) -> versions
-	in  map[stream.VertexID]map[halfKey]cell // dst -> (src,label) -> versions
+	// tab is the dense-id slab table; the writer grows it copy-on-write
+	// and publishes via this pointer. Slab-pointer slots are read and
+	// written only under the owning vertex's stripe lock.
+	tab     atomic.Pointer[table]
+	stripes [numStripes]paddedRWMutex
 
-	numEdges int // edges live at the current epoch
+	epoch    atomic.Uint64 // current (writer) epoch
+	numEdges atomic.Int64  // edges live at the current epoch
 
-	epoch   Epoch         // current (writer) epoch
-	readers map[Epoch]int // active reader refcounts per epoch
+	// minRC caches the smallest epoch any registered reader holds
+	// (MaxUint64 when none), maintained under gcMu but read lock-free
+	// by the writer's retention decisions. A stale (smaller) value only
+	// retains a version longer; the gcLocked call that follows every
+	// pending-queue append re-checks under gcMu and compacts anything
+	// the stale read over-retained.
+	minRC atomic.Uint64
 
-	// pending queues edge keys whose superseded versions await
-	// compaction, in removal-epoch order (removal epochs are monotone
-	// because the single writer only ever advances the epoch).
+	// gcMu guards the reader registry and the compaction queue.
+	// Lock-order invariant: gcMu may be taken before stripe locks
+	// (gcLocked prunes under them) but never while holding one.
+	gcMu        sync.Mutex
+	readers     map[Epoch]int // active reader refcounts per epoch
 	pending     []gcEntry
 	pendingHead int
 
 	// fifo holds insertion records in arrival order. Stream timestamps
 	// are non-decreasing, so expiry pops from the front. Entries are
-	// lazily invalidated by re-insertions (newer ts) and deletions.
+	// lazily invalidated by re-insertions (newer ts) and deletions, and
+	// address edges by key — the O(1) slab point lookup replaces the
+	// old map probe. Only the writer goroutine touches the FIFO.
 	fifo []fifoEntry
 	head int
 }
@@ -145,74 +154,81 @@ type fifoEntry struct {
 
 // New returns an empty snapshot graph at epoch 0.
 func New() *Graph {
-	return &Graph{
-		out:     make(map[stream.VertexID]map[halfKey]cell),
-		in:      make(map[stream.VertexID]map[halfKey]cell),
-		readers: make(map[Epoch]int),
-	}
+	g := &Graph{readers: make(map[Epoch]int)}
+	g.tab.Store(&table{})
+	g.minRC.Store(math.MaxUint64)
+	return g
+}
+
+func (g *Graph) stripeFor(v stream.VertexID) *paddedRWMutex {
+	return &g.stripes[uint32(v)&(numStripes-1)]
 }
 
 // Epoch returns the current writer epoch.
-func (g *Graph) Epoch() Epoch {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.epoch
-}
+func (g *Graph) Epoch() Epoch { return Epoch(g.epoch.Load()) }
 
 // AdvanceEpoch moves the writer to the next epoch and returns it.
 // Mutations applied afterwards are invisible to readers holding earlier
 // epochs.
-func (g *Graph) AdvanceEpoch() Epoch {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.epoch++
-	return g.epoch
-}
+func (g *Graph) AdvanceEpoch() Epoch { return Epoch(g.epoch.Add(1)) }
 
 // AcquireEpoch registers an active reader at epoch e (normally the
 // current epoch, captured right after the writer's mutations for a
 // sub-batch). Versions visible at e are retained until the matching
 // ReleaseEpoch.
 func (g *Graph) AcquireEpoch(e Epoch) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.gcMu.Lock()
 	g.readers[e]++
+	g.updateMinRC()
+	g.gcMu.Unlock()
 }
 
 // ReleaseEpoch retires a reader registered with AcquireEpoch and
 // compacts every version no remaining (or future) reader can observe.
 func (g *Graph) ReleaseEpoch(e Epoch) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.gcMu.Lock()
 	if n := g.readers[e]; n <= 1 {
 		delete(g.readers, e)
 	} else {
 		g.readers[e] = n - 1
 	}
+	g.updateMinRC()
 	g.gcLocked()
+	g.gcMu.Unlock()
 }
 
-// minReaderLocked returns the oldest epoch any active reader holds; the
+// updateMinRC recomputes the cached minimum reader epoch (gcMu held).
+func (g *Graph) updateMinRC() {
+	min := uint64(math.MaxUint64)
+	for e := range g.readers {
+		if uint64(e) < min {
+			min = uint64(e)
+		}
+	}
+	g.minRC.Store(min)
+}
+
+// minReader returns the oldest epoch any active reader holds; the
 // current epoch when no reader is registered. Future readers always
 // acquire at least the current epoch, so versions removed at or before
 // this bound are unobservable forever.
-func (g *Graph) minReaderLocked() Epoch {
-	min := g.epoch
-	for e := range g.readers {
-		if e < min {
-			min = e
-		}
+func (g *Graph) minReader(epoch Epoch) Epoch {
+	if m := Epoch(g.minRC.Load()); m < epoch {
+		return m
 	}
-	return min
+	return epoch
 }
 
 // gcLocked compacts superseded versions whose removal epoch is at or
-// below the oldest active reader. Amortized O(1) per removal: each
-// queued entry is processed once, and the queue is in removal order.
+// below the oldest active reader (gcMu held). Amortized O(1) per
+// removal: each queued entry is processed once, and the queue is in
+// removal order because only the monotone writer epoch enters it.
 func (g *Graph) gcLocked() {
-	minR := g.minReaderLocked()
+	minR := g.minReader(g.Epoch())
 	for g.pendingHead < len(g.pending) && g.pending[g.pendingHead].removed <= minR {
-		g.pruneLocked(g.pending[g.pendingHead].key, minR)
+		key := g.pending[g.pendingHead].key
+		g.pruneSide(true, key.Src, key.Dst, key.Label, minR)
+		g.pruneSide(false, key.Dst, key.Src, key.Label, minR)
 		g.pendingHead++
 	}
 	if g.pendingHead > 1024 && g.pendingHead*2 > len(g.pending) {
@@ -221,77 +237,72 @@ func (g *Graph) gcLocked() {
 	}
 }
 
-// pruneLocked drops every version of key removed at or before bound.
-func (g *Graph) pruneLocked(key stream.EdgeKey, bound Epoch) {
-	pruneSide(g.out, key.Src, mkHalfKey(key.Dst, key.Label), bound)
-	pruneSide(g.in, key.Dst, mkHalfKey(key.Src, key.Label), bound)
-}
-
-func pruneSide(side map[stream.VertexID]map[halfKey]cell, v stream.VertexID, hk halfKey, bound Epoch) {
-	m := side[v]
-	c, ok := m[hk]
-	if !ok {
+// pruneSide drops every version of one adjacency cell removed at or
+// before bound, taking the vertex's stripe lock.
+func (g *Graph) pruneSide(out bool, v, other stream.VertexID, label stream.LabelID, bound Epoch) {
+	t := g.tab.Load()
+	if int(v) >= len(t.out) {
 		return
 	}
-	if c.removed <= bound {
+	st := g.stripeFor(v)
+	st.Lock()
+	defer st.Unlock()
+	var s *slab
+	if out {
+		s = t.out[v]
+	} else {
+		s = t.in[v]
+	}
+	if s == nil {
+		return
+	}
+	idx := s.find(other, label)
+	if idx < 0 {
+		return
+	}
+	pe := &s.edges[idx]
+	if s.absRemoved(pe) <= bound {
 		// The newest version is dead, so every older one is too.
-		delete(m, hk)
-		if len(m) == 0 {
-			delete(side, v)
-		}
+		s.freeChain(pe)
+		s.swapRemove(idx)
 		return
 	}
-	// Older versions are epoch-ascending: dead ones form a prefix.
-	cut := 0
-	for cut < len(c.older) && c.older[cut].removed <= bound {
-		cut++
-	}
-	if cut > 0 {
-		c.older = append([]version(nil), c.older[cut:]...)
-		if len(c.older) == 0 {
-			c.older = nil
-		}
-		m[hk] = c
-	}
+	s.pruneOvf(pe, bound)
 }
 
 // NumEdges returns the number of distinct (src,dst,label) edges live at
 // the current epoch.
-func (g *Graph) NumEdges() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.numEdges
-}
+func (g *Graph) NumEdges() int { return int(g.numEdges.Load()) }
 
 // NumVertices returns the number of vertices incident to at least one
 // edge live at the current epoch.
 func (g *Graph) NumVertices() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	t := g.tab.Load()
 	n := 0
-	for _, m := range g.out {
-		if sideHasLive(m) {
+	for v := range t.out {
+		st := g.stripeFor(stream.VertexID(v))
+		st.RLock()
+		if (t.out[v] != nil && t.out[v].hasLive()) || (t.in[v] != nil && t.in[v].hasLive()) {
 			n++
 		}
-	}
-	for v, m := range g.in {
-		if om, ok := g.out[v]; ok && sideHasLive(om) {
-			continue
-		}
-		if sideHasLive(m) {
-			n++
-		}
+		st.RUnlock()
 	}
 	return n
 }
 
-func sideHasLive(m map[halfKey]cell) bool {
-	for _, c := range m {
-		if c.live() {
-			return true
-		}
+// writerTable returns the current slab table, grown (and republished)
+// to cover both vertex ids. Writer goroutine only.
+func (g *Graph) writerTable(a, b stream.VertexID) *table {
+	t := g.tab.Load()
+	m := a
+	if b > m {
+		m = b
 	}
-	return false
+	if int(m) >= len(t.out) {
+		t = t.grown(m)
+		g.tab.Store(t)
+	}
+	return t
 }
 
 // Insert adds the edge (src,dst,label) with timestamp ts at the current
@@ -299,140 +310,180 @@ func sideHasLive(m map[halfKey]cell) bool {
 // version stays visible to readers of earlier epochs). It reports
 // whether the edge was new.
 func (g *Graph) Insert(src, dst stream.VertexID, label stream.LabelID, ts int64) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	epoch := g.Epoch()
+	minR := g.minReader(epoch)
+	t := g.writerTable(src, dst)
+
+	st := g.stripeFor(src)
+	st.Lock()
+	so := t.out[src]
+	if so == nil {
+		so = newSlab(epoch)
+		t.out[src] = so
+	}
+	wasLive := so.upsert(dst, label, ts, epoch, minR)
+	st.Unlock()
+
+	st = g.stripeFor(dst)
+	st.Lock()
+	si := t.in[dst]
+	if si == nil {
+		si = newSlab(epoch)
+		t.in[dst] = si
+	}
+	si.upsert(src, label, ts, epoch, minR)
+	st.Unlock()
 
 	key := stream.EdgeKey{Src: src, Dst: dst, Label: label}
-	minR := g.minReaderLocked()
-	wasLive := g.upsertSide(g.out, src, mkHalfKey(dst, label), ts, minR)
-	g.upsertSide(g.in, dst, mkHalfKey(src, label), ts, minR)
 	if wasLive {
-		if minR < g.epoch {
+		if minR < epoch {
 			// The superseded version stays visible to an active reader;
-			// queue it for compaction once that reader retires.
-			g.pending = append(g.pending, gcEntry{key: key, removed: g.epoch})
+			// queue it for compaction once that reader retires. gcLocked
+			// re-checks with a fresh minimum in case a release raced the
+			// lock-free minR read above.
+			g.gcMu.Lock()
+			g.pending = append(g.pending, gcEntry{key: key, removed: epoch})
+			g.gcLocked()
+			g.gcMu.Unlock()
 		}
 	} else {
-		g.numEdges++
+		g.numEdges.Add(1)
 	}
 	g.fifo = append(g.fifo, fifoEntry{key: key, ts: ts})
 	return !wasLive
 }
 
-// upsertSide installs the new version in one adjacency side and
-// reports whether a live version was superseded. A superseded or
-// tombstoned previous version is pushed to the overflow list iff a
+// upsert installs a new inline version for (other,label) in the slab
+// and reports whether a live version was superseded. A superseded or
+// tombstoned previous version is pushed to the overflow arena iff a
 // reader at an epoch below its removal may still observe it (removal
 // epoch > minR); otherwise it is dropped on the spot — the unversioned
 // fast path that makes the zero-epoch discipline cost what the
 // pre-epoch graph did.
-func (g *Graph) upsertSide(side map[stream.VertexID]map[halfKey]cell, v stream.VertexID, hk halfKey, ts int64, minR Epoch) bool {
-	m := side[v]
-	if m == nil {
-		m = make(map[halfKey]cell)
-		side[v] = m
+func (s *slab) upsert(other stream.VertexID, label stream.LabelID, ts int64, epoch, minR Epoch) bool {
+	// Resolve the delta first: a rebase here may compact the slab, so
+	// the cell index must be looked up afterwards.
+	ad := s.deltaFor(epoch, minR)
+	idx := s.find(other, label)
+	if idx < 0 {
+		s.appendEdge(packedEdge{
+			ts: ts, other: uint32(other), label: int32(label),
+			added: ad, removed: liveDelta, ovf: -1,
+		})
+		return false
 	}
-	c, existed := m[hk]
-	fresh := version{ts: ts, added: g.epoch, removed: liveEpoch}
-	wasLive := false
-	if existed {
-		wasLive = c.live()
-		old := c.version
-		if wasLive {
-			old.removed = g.epoch
-		}
-		if old.removed > minR {
-			c.older = append(c.older, old)
-		}
-		c.older = pruneDead(c.older, minR)
+	pe := &s.edges[idx]
+	wasLive := pe.removed == liveDelta
+	oldRemoved := s.absRemoved(pe)
+	if wasLive {
+		oldRemoved = epoch
 	}
-	c.version = fresh
-	m[hk] = c
+	if oldRemoved > minR {
+		s.pushOvf(pe, ovfVersion{ts: pe.ts, added: s.absAdded(pe), removed: oldRemoved})
+	}
+	s.pruneOvf(pe, minR)
+	pe.ts = ts
+	pe.added = ad
+	pe.removed = liveDelta
 	return wasLive
-}
-
-func pruneDead(older []version, bound Epoch) []version {
-	cut := 0
-	for cut < len(older) && older[cut].removed <= bound {
-		cut++
-	}
-	if cut == 0 {
-		return older
-	}
-	rest := older[cut:]
-	if len(rest) == 0 {
-		return nil
-	}
-	return append([]version(nil), rest...)
 }
 
 // Delete removes the edge identified by key at the current epoch
 // (readers of earlier epochs keep seeing it). It reports whether the
 // edge was live.
 func (g *Graph) Delete(key stream.EdgeKey) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.deleteLocked(key)
-}
+	epoch := g.Epoch()
+	minR := g.minReader(epoch)
+	keep := minR < epoch
 
-func (g *Graph) deleteLocked(key stream.EdgeKey) bool {
-	ohk := mkHalfKey(key.Dst, key.Label)
-	om := g.out[key.Src]
-	c, ok := om[ohk]
-	if !ok || !c.live() {
+	t := g.tab.Load()
+	if int(key.Src) >= len(t.out) || int(key.Dst) >= len(t.in) {
 		return false
 	}
-	keep := g.minReaderLocked() < g.epoch
-	if keep {
-		g.pending = append(g.pending, gcEntry{key: key, removed: g.epoch})
+
+	// Out side decides liveness; a tombstone is kept only while some
+	// reader may still observe the removed version. When no tombstone
+	// is needed, every older version is unobservable too (their removal
+	// epochs are even earlier), so the whole cell goes.
+	st := g.stripeFor(key.Src)
+	st.Lock()
+	removed := false
+	if so := t.out[key.Src]; so != nil {
+		var rd uint32
+		if keep {
+			rd = so.deltaFor(epoch, minR) // may rebase: resolve before find
+		}
+		if idx := so.find(key.Dst, key.Label); idx >= 0 && so.edges[idx].removed == liveDelta {
+			pe := &so.edges[idx]
+			if keep {
+				pe.removed = rd
+			} else {
+				so.freeChain(pe)
+				so.swapRemove(idx)
+			}
+			removed = true
+		}
 	}
-	removeSide(g.out, key.Src, ohk, g.epoch, keep)
-	removeSide(g.in, key.Dst, mkHalfKey(key.Src, key.Label), g.epoch, keep)
-	g.numEdges--
+	st.Unlock()
+	if !removed {
+		return false
+	}
+
+	st = g.stripeFor(key.Dst)
+	st.Lock()
+	if si := t.in[key.Dst]; si != nil {
+		var rd uint32
+		if keep {
+			rd = si.deltaFor(epoch, minR)
+		}
+		if idx := si.find(key.Src, key.Label); idx >= 0 && si.edges[idx].removed == liveDelta {
+			pe := &si.edges[idx]
+			if keep {
+				pe.removed = rd
+			} else {
+				si.freeChain(pe)
+				si.swapRemove(idx)
+			}
+		}
+	}
+	st.Unlock()
+
+	g.numEdges.Add(-1)
+	if keep {
+		g.gcMu.Lock()
+		g.pending = append(g.pending, gcEntry{key: key, removed: epoch})
+		g.gcLocked()
+		g.gcMu.Unlock()
+	}
 	return true
 }
 
-// removeSide tombstones (keep) or erases (!keep) the live version of
-// one adjacency side. When the tombstone need not be kept, every older
-// version is unobservable too (their removal epochs are even earlier),
-// so the whole cell goes.
-func removeSide(side map[stream.VertexID]map[halfKey]cell, v stream.VertexID, hk halfKey, at Epoch, keep bool) {
-	m := side[v]
-	c := m[hk]
-	if !keep {
-		delete(m, hk)
-		if len(m) == 0 {
-			delete(side, v)
-		}
-		return
+// tsAt returns the timestamp of the edge visible at epoch e.
+func (g *Graph) tsAt(key stream.EdgeKey, e Epoch) (int64, bool) {
+	t := g.tab.Load()
+	if int(key.Src) >= len(t.out) {
+		return 0, false
 	}
-	c.removed = at
-	m[hk] = c
+	st := g.stripeFor(key.Src)
+	st.RLock()
+	defer st.RUnlock()
+	s := t.out[key.Src]
+	if s == nil {
+		return 0, false
+	}
+	idx := s.find(key.Dst, key.Label)
+	if idx < 0 {
+		return 0, false
+	}
+	return s.versionAt(&s.edges[idx], e)
 }
 
 // TS returns the timestamp of the edge live at the current epoch and
 // whether it exists.
-func (g *Graph) TS(key stream.EdgeKey) (int64, bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.tsLocked(key, g.epoch)
-}
+func (g *Graph) TS(key stream.EdgeKey) (int64, bool) { return g.tsAt(key, g.Epoch()) }
 
 // TSAt returns the timestamp of the edge visible at epoch e.
-func (g *Graph) TSAt(e Epoch, key stream.EdgeKey) (int64, bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.tsLocked(key, e)
-}
-
-func (g *Graph) tsLocked(key stream.EdgeKey, e Epoch) (int64, bool) {
-	c, ok := g.out[key.Src][mkHalfKey(key.Dst, key.Label)]
-	if !ok {
-		return 0, false
-	}
-	v, ok := c.at(e)
-	return v.ts, ok
-}
+func (g *Graph) TSAt(e Epoch, key stream.EdgeKey) (int64, bool) { return g.tsAt(key, e) }
 
 // Has reports whether the edge is live at the current epoch.
 func (g *Graph) Has(key stream.EdgeKey) bool {
@@ -440,45 +491,126 @@ func (g *Graph) Has(key stream.EdgeKey) bool {
 	return ok
 }
 
+// iterSide walks one vertex side's slab at epoch e under the stripe
+// read lock, invoking f per visible version.
+func (g *Graph) iterSide(out bool, e Epoch, v stream.VertexID, f func(v stream.VertexID, l stream.LabelID, ts int64) bool) {
+	t := g.tab.Load()
+	if int(v) >= len(t.out) {
+		return
+	}
+	st := g.stripeFor(v)
+	st.RLock()
+	defer st.RUnlock()
+	var s *slab
+	if out {
+		s = t.out[v]
+	} else {
+		s = t.in[v]
+	}
+	if s == nil {
+		return
+	}
+	for i := range s.edges {
+		pe := &s.edges[i]
+		ts, ok := s.versionAt(pe, e)
+		if !ok {
+			continue
+		}
+		if !f(stream.VertexID(pe.other), stream.LabelID(pe.label), ts) {
+			return
+		}
+	}
+}
+
+// appendSide copies one vertex side's visible half-edges into buf
+// under the stripe read lock and returns the extended buffer.
+func (g *Graph) appendSide(out bool, e Epoch, v stream.VertexID, buf []HalfEdge) []HalfEdge {
+	t := g.tab.Load()
+	if int(v) >= len(t.out) {
+		return buf
+	}
+	st := g.stripeFor(v)
+	st.RLock()
+	var s *slab
+	if out {
+		s = t.out[v]
+	} else {
+		s = t.in[v]
+	}
+	if s != nil {
+		for i := range s.edges {
+			pe := &s.edges[i]
+			if ts, ok := s.versionAt(pe, e); ok {
+				buf = append(buf, HalfEdge{V: stream.VertexID(pe.other), L: stream.LabelID(pe.label), TS: ts})
+			}
+		}
+	}
+	st.RUnlock()
+	return buf
+}
+
 // Out calls f for every out-edge of src live at the current epoch.
-// Returning false stops the iteration early.
+// Returning false stops the iteration early. f runs under the stripe
+// read lock; see the package comment for the reentrancy caveat.
 func (g *Graph) Out(src stream.VertexID, f func(dst stream.VertexID, label stream.LabelID, ts int64) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	iterSide(g.out[src], g.epoch, f)
+	g.iterSide(true, g.Epoch(), src, f)
 }
 
 // OutAt calls f for every out-edge of src visible at epoch e.
 func (g *Graph) OutAt(e Epoch, src stream.VertexID, f func(dst stream.VertexID, label stream.LabelID, ts int64) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	iterSide(g.out[src], e, f)
+	g.iterSide(true, e, src, f)
 }
 
 // In calls f for every in-edge of dst live at the current epoch.
 // Returning false stops the iteration early.
 func (g *Graph) In(dst stream.VertexID, f func(src stream.VertexID, label stream.LabelID, ts int64) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	iterSide(g.in[dst], g.epoch, f)
+	g.iterSide(false, g.Epoch(), dst, f)
 }
 
 // InAt calls f for every in-edge of dst visible at epoch e.
 func (g *Graph) InAt(e Epoch, dst stream.VertexID, f func(src stream.VertexID, label stream.LabelID, ts int64) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	iterSide(g.in[dst], e, f)
+	g.iterSide(false, e, dst, f)
 }
 
-func iterSide(m map[halfKey]cell, e Epoch, f func(v stream.VertexID, l stream.LabelID, ts int64) bool) {
-	for k, c := range m {
-		v, ok := c.at(e)
-		if !ok {
+// AppendOutAt appends every out-edge of src visible at epoch e to buf
+// and returns the extended slice. The copy is taken under the stripe
+// read lock; the caller iterates the buffer without holding any graph
+// lock, so the result may be consumed by code that itself traverses
+// the graph. Reusing buf across calls makes steady-state traversal
+// allocation-free; this is the hot-path API of internal/core.
+func (g *Graph) AppendOutAt(e Epoch, src stream.VertexID, buf []HalfEdge) []HalfEdge {
+	return g.appendSide(true, e, src, buf)
+}
+
+// AppendInAt appends every in-edge of dst visible at epoch e to buf
+// and returns the extended slice; see AppendOutAt.
+func (g *Graph) AppendInAt(e Epoch, dst stream.VertexID, buf []HalfEdge) []HalfEdge {
+	return g.appendSide(false, e, dst, buf)
+}
+
+// edgesAt calls f for every edge visible at epoch e.
+func (g *Graph) edgesAt(e Epoch, f func(ed Edge) bool) {
+	t := g.tab.Load()
+	for v := range t.out {
+		st := g.stripeFor(stream.VertexID(v))
+		st.RLock()
+		s := t.out[v]
+		if s == nil {
+			st.RUnlock()
 			continue
 		}
-		if !f(k.vertex(), k.label(), v.ts) {
-			return
+		for i := range s.edges {
+			pe := &s.edges[i]
+			ts, ok := s.versionAt(pe, e)
+			if !ok {
+				continue
+			}
+			if !f(Edge{Src: stream.VertexID(v), Dst: stream.VertexID(pe.other), Label: stream.LabelID(pe.label), TS: ts}) {
+				st.RUnlock()
+				return
+			}
 		}
+		st.RUnlock()
 	}
 }
 
@@ -486,64 +618,25 @@ func iterSide(m map[halfKey]cell, e Epoch, f func(v stream.VertexID, l stream.La
 // fold of the version intervals that checkpoint serialization records
 // (the on-disk format stays epoch-free). Returning false stops the
 // iteration early.
-func (g *Graph) Edges(f func(e Edge) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	for src, om := range g.out {
-		for k, c := range om {
-			v, ok := c.at(g.epoch)
-			if !ok {
-				continue
-			}
-			if !f(Edge{Src: src, Dst: k.vertex(), Label: k.label(), TS: v.ts}) {
-				return
-			}
-		}
-	}
-}
+func (g *Graph) Edges(f func(e Edge) bool) { g.edgesAt(g.Epoch(), f) }
 
 // EdgesAt calls f for every edge visible at epoch e. A reader holding a
 // lease on e (AcquireEpoch) may iterate concurrently with the single
 // writer advancing later epochs — this is how a dynamically registered
 // query bootstraps its Δ index from the live window without pausing
 // ingest. Returning false stops the iteration early.
-func (g *Graph) EdgesAt(e Epoch, f func(ed Edge) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	for src, om := range g.out {
-		for k, c := range om {
-			v, ok := c.at(e)
-			if !ok {
-				continue
-			}
-			if !f(Edge{Src: src, Dst: k.vertex(), Label: k.label(), TS: v.ts}) {
-				return
-			}
-		}
-	}
-}
+func (g *Graph) EdgesAt(e Epoch, f func(ed Edge) bool) { g.edgesAt(e, f) }
 
 // Vertices calls f for every vertex incident to at least one edge live
-// at the current epoch.
+// at the current epoch, in ascending dense-id order.
 func (g *Graph) Vertices(f func(v stream.VertexID) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	for v, m := range g.out {
-		if !sideHasLive(m) {
-			continue
-		}
-		if !f(v) {
-			return
-		}
-	}
-	for v, m := range g.in {
-		if om, ok := g.out[v]; ok && sideHasLive(om) {
-			continue
-		}
-		if !sideHasLive(m) {
-			continue
-		}
-		if !f(v) {
+	t := g.tab.Load()
+	for v := range t.out {
+		st := g.stripeFor(stream.VertexID(v))
+		st.RLock()
+		live := (t.out[v] != nil && t.out[v].hasLive()) || (t.in[v] != nil && t.in[v].hasLive())
+		st.RUnlock()
+		if live && !f(stream.VertexID(v)) {
 			return
 		}
 	}
@@ -554,8 +647,7 @@ func (g *Graph) Vertices(f func(v stream.VertexID) bool) {
 // Amortized O(1) per insertion thanks to the FIFO invariant; readers of
 // earlier epochs keep seeing the expired edges until they release.
 func (g *Graph) Expire(deadline int64, onRemove func(e Edge)) int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	epoch := g.Epoch()
 	removed := 0
 	for g.head < len(g.fifo) {
 		ent := g.fifo[g.head]
@@ -563,12 +655,12 @@ func (g *Graph) Expire(deadline int64, onRemove func(e Edge)) int {
 			break
 		}
 		g.head++
-		cur, ok := g.tsLocked(ent.key, g.epoch)
+		cur, ok := g.tsAt(ent.key, epoch)
 		if !ok || cur != ent.ts {
 			continue // deleted or refreshed since this record was queued
 		}
 		if cur <= deadline {
-			g.deleteLocked(ent.key)
+			g.Delete(ent.key)
 			if onRemove != nil {
 				onRemove(Edge{Src: ent.key.Src, Dst: ent.key.Dst, Label: ent.key.Label, TS: cur})
 			}
@@ -588,16 +680,23 @@ func (g *Graph) Expire(deadline int64, onRemove func(e Edge)) int {
 // only for active readers. It is 0 once every reader has released and
 // the GC has run (the compaction invariant the epoch-GC tests assert).
 func (g *Graph) DeadVersions() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	t := g.tab.Load()
 	n := 0
-	for _, m := range g.out {
-		for _, c := range m {
-			if !c.live() {
-				n++
+	for v := range t.out {
+		st := g.stripeFor(stream.VertexID(v))
+		st.RLock()
+		if s := t.out[v]; s != nil {
+			for i := range s.edges {
+				pe := &s.edges[i]
+				if pe.removed != liveDelta {
+					n++
+				}
+				for cur := pe.ovf; cur >= 0; cur = s.ovf[cur].next {
+					n++
+				}
 			}
-			n += len(c.older)
 		}
+		st.RUnlock()
 	}
 	return n
 }
@@ -605,8 +704,8 @@ func (g *Graph) DeadVersions() int {
 // ActiveReaders returns the number of distinct epochs with registered
 // readers (diagnostics).
 func (g *Graph) ActiveReaders() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.gcMu.Lock()
+	defer g.gcMu.Unlock()
 	return len(g.readers)
 }
 
