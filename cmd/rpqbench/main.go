@@ -9,12 +9,13 @@
 //	rpqbench -exp multiq -json > BENCH_multiq.json
 //	rpqbench -exp pipeline -shards 1,2,4,8 -pipeline 1,2,4 -json > BENCH_pipeline.json
 //	rpqbench -exp churn -json > BENCH_churn.json
+//	rpqbench -exp writers -writers 1,2,4,8 -json > BENCH_writers.json
 //
 // -json emits machine-readable results (ns/op, tuples/s, per-shard
 // stats) for experiments with structured drivers, so benchmark
 // trajectories can be recorded as BENCH_*.json files across commits.
-// -shards and -pipeline override the sweep grids of the multiq and
-// pipeline experiments (comma-separated lists).
+// -shards, -pipeline and -writers override the sweep grids of the
+// multiq, pipeline and writers experiments (comma-separated lists).
 //
 // -cpuprofile and -memprofile write pprof profiles covering the
 // selected experiments (CPU over the whole run; heap snapshotted after
@@ -60,6 +61,7 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of tables (structured experiments only)")
 		shards  = flag.String("shards", "", "comma-separated shard counts for the multiq/pipeline sweeps (default grid if empty)")
 		depths  = flag.String("pipeline", "", "comma-separated pipeline depths for the pipeline sweep (default 1,2,4; 1 = barriered)")
+		writers = flag.String("writers", "", "comma-separated writer counts for the writers sweep (default 1,2,4,8; 1 = sequential apply)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile (after the selected experiments) to this file")
 	)
@@ -118,9 +120,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rpqbench: %v\n", err)
 		os.Exit(2)
 	}
+	writerCounts, err := parseIntList("writers", *writers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpqbench: %v\n", err)
+		os.Exit(2)
+	}
 	cfg := experiments.Config{
 		Scale: *scale, Out: os.Stdout, Seed: *seed,
 		ShardCounts: shardCounts, PipelineDepths: pipelineDepths,
+		WriterCounts: writerCounts,
 	}
 
 	if *jsonOut {

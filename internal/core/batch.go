@@ -95,27 +95,29 @@ func BatchSimple(g *graph.Graph, a *automaton.Bound, validFrom int64) map[Pair]s
 func BatchSimpleFrom(g *graph.Graph, a *automaton.Bound, x stream.VertexID, validFrom int64) map[stream.VertexID]struct{} {
 	out := make(map[stream.VertexID]struct{})
 	onPath := map[stream.VertexID]struct{}{x: {}}
+	epoch := g.Epoch()
 	var dfs func(v stream.VertexID, s int32)
 	dfs = func(v stream.VertexID, s int32) {
-		g.Out(v, func(w stream.VertexID, l stream.LabelID, ts int64) bool {
-			if ts <= validFrom {
-				return true
+		// Per-frame buffer: the recursive call below traverses the
+		// graph again, so the adjacency copy must survive it.
+		for _, he := range g.AppendOutAt(epoch, v, nil) {
+			if he.TS <= validFrom {
+				continue
 			}
-			t := a.Step(s, int(l))
+			t := a.Step(s, int(he.L))
 			if t == automaton.NoState {
-				return true
+				continue
 			}
-			if _, visited := onPath[w]; visited {
-				return true // not a simple path
+			if _, visited := onPath[he.V]; visited {
+				continue // not a simple path
 			}
 			if a.Final[t] {
-				out[w] = struct{}{}
+				out[he.V] = struct{}{}
 			}
-			onPath[w] = struct{}{}
-			dfs(w, t)
-			delete(onPath, w)
-			return true
-		})
+			onPath[he.V] = struct{}{}
+			dfs(he.V, t)
+			delete(onPath, he.V)
+		}
 	}
 	dfs(x, a.Start)
 	return out
@@ -151,19 +153,24 @@ func batchSimpleMWFrom(g *graph.Graph, a *automaton.Bound, x stream.VertexID, va
 	// DFS path visits vertex v (first element = first visit).
 	pathStates := make(map[stream.VertexID][]int32)
 
+	epoch := g.Epoch()
+
 	// dfs returns true if the traversal below (v,s) completed without
 	// detecting a conflict, i.e. (v,s) may be marked.
 	var dfs func(v stream.VertexID, s int32) bool
 	dfs = func(v stream.VertexID, s int32) bool {
 		clean := true
-		g.Out(v, func(w stream.VertexID, l stream.LabelID, ts int64) bool {
-			if ts <= validFrom {
-				return true
+		// Per-frame buffer: the recursive call below traverses the
+		// graph again, so the adjacency copy must survive it.
+		for _, he := range g.AppendOutAt(epoch, v, nil) {
+			if he.TS <= validFrom {
+				continue
 			}
-			t := a.Step(s, int(l))
+			t := a.Step(s, int(he.L))
 			if t == automaton.NoState {
-				return true
+				continue
 			}
+			w := he.V
 			if states := pathStates[w]; len(states) > 0 {
 				// Vertex w already on the path: a simple path cannot
 				// revisit it. Check for a conflict between the first
@@ -171,10 +178,10 @@ func batchSimpleMWFrom(g *graph.Graph, a *automaton.Bound, x stream.VertexID, va
 				if !a.Cont[states[0]][t] {
 					clean = false // conflict: ancestors must not be marked
 				}
-				return true
+				continue
 			}
 			if marked[mwKey{v: w, s: t}] {
-				return true // pruned: already fully explored conflict-free
+				continue // pruned: already fully explored conflict-free
 			}
 			if a.Final[t] {
 				out[w] = struct{}{}
@@ -190,8 +197,7 @@ func batchSimpleMWFrom(g *graph.Graph, a *automaton.Bound, x stream.VertexID, va
 			} else {
 				clean = false
 			}
-			return true
-		})
+		}
 		return clean
 	}
 	pathStates[x] = append(pathStates[x], a.Start)

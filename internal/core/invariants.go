@@ -91,19 +91,18 @@ func (e *RAPQ) CheckInvariants() error {
 			if ns.ts[slot] > validFrom {
 				supported := false
 				nodeTS, parentTS := ns.ts[slot], ns.ts[pslot]
-				e.g.Out(pk.vertex(), func(dst stream.VertexID, l stream.LabelID, ts int64) bool {
-					if dst != nv {
-						return true
+				for _, he := range e.g.AppendOutAt(e.g.Epoch(), pk.vertex(), nil) {
+					if he.V != nv {
+						continue
 					}
-					if e.a.Trans[pk.state()][l] != nstate {
-						return true
+					if e.a.Trans[pk.state()][he.L] != nstate {
+						continue
 					}
-					if min(parentTS, ts) == nodeTS {
+					if min(parentTS, he.TS) == nodeTS {
 						supported = true
-						return false
+						break
 					}
-					return true
-				})
+				}
 				if !supported {
 					return fmt.Errorf("tree %d: tree edge (%d,%d)->(%d,%d) ts=%d has no supporting graph edge",
 						root, pk.vertex(), pk.state(), nv, nstate, ns.ts[slot])

@@ -196,11 +196,18 @@ func (e *RAPQ) AlignClock(now int64) {
 func (e *RAPQ) BootstrapFromGraph(g *graph.Graph, ep graph.Epoch) {
 	e.g = g
 	e.epoch = ep
+	// Buffer-based sweep rather than the EdgesAt callback: this runs on
+	// a background goroutine concurrent with the writer, and the dense
+	// id upper bound (not Vertices) guarantees vertices whose edges are
+	// visible only at the leased epoch ep are not skipped.
 	var edges []graph.Edge
-	g.EdgesAt(ep, func(ed graph.Edge) bool {
-		edges = append(edges, ed)
-		return true
-	})
+	var buf []graph.HalfEdge
+	for v, n := stream.VertexID(0), g.VertexUpperBound(); v < n; v++ {
+		buf = g.AppendOutAt(ep, v, buf[:0])
+		for _, he := range buf {
+			edges = append(edges, graph.Edge{Src: v, Dst: he.V, Label: he.L, TS: he.TS})
+		}
+	}
 	sort.Slice(edges, func(i, j int) bool {
 		a, b := edges[i], edges[j]
 		if a.TS != b.TS {

@@ -39,6 +39,9 @@ type Config struct {
 	// PipelineDepths overrides the pipeline-depth grid of the pipeline
 	// experiment; empty selects the default (1, 2, 4).
 	PipelineDepths []int
+	// WriterCounts overrides the epoch-construction writer grid of the
+	// writers experiment; empty selects the default (1, 2, 4, 8).
+	WriterCounts []int
 }
 
 // DefaultConfig returns a laptop-scale configuration (~1–2 minutes for
@@ -71,6 +74,7 @@ func All() []Runner {
 		{"multiq", "Sharded concurrent multi-query engine: shard-count sweep (§7 + internal/shard)", MultiQ},
 		{"pipeline", "Pipelined sub-batches: barriered (depth 1) vs pipelined (depth ≥ 2) per shard count", Pipeline},
 		{"churn", "Delete/re-insert churn: support-counting deletion overhead per shard count", Churn},
+		{"writers", "Multi-writer epoch construction: sequential vs stripe-parallel apply per shard count", Writers},
 	}
 }
 

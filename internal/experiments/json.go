@@ -24,7 +24,7 @@ type JSONReport struct {
 // JSONCapable reports whether the experiment has a structured-data
 // driver (only those can be emitted with -json).
 func JSONCapable(id string) bool {
-	return id == "multiq" || id == "pipeline" || id == "churn"
+	return id == "multiq" || id == "pipeline" || id == "churn" || id == "writers"
 }
 
 // WriteJSON runs the experiment's data driver and writes the report to
@@ -58,8 +58,14 @@ func WriteJSON(cfg Config, id string, w io.Writer) error {
 			return err
 		}
 		report.Rows = rows
+	case "writers":
+		rows, err := WritersData(cfg)
+		if err != nil {
+			return err
+		}
+		report.Rows = rows
 	default:
-		return fmt.Errorf("experiments: %q has no JSON driver (supported: multiq, pipeline, churn)", id)
+		return fmt.Errorf("experiments: %q has no JSON driver (supported: multiq, pipeline, churn, writers)", id)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

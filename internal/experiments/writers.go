@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"streamrpq/internal/shard"
+)
+
+// WritersRow is one (shard count, writer count) measurement of the
+// sharded multi-query engine: sequential (writers 1) vs stripe-parallel
+// (writers ≥ 2) epoch construction over the same workload.
+type WritersRow struct {
+	Shards     int     `json:"shards"`
+	Writers    int     `json:"writers"`
+	Depth      int     `json:"pipeline_depth"`
+	Queries    int     `json:"queries"`
+	Tuples     int     `json:"tuples"`
+	Throughput float64 `json:"tuples_per_sec"`
+	NsPerTuple float64 `json:"ns_per_tuple"`
+	// SpeedupVsSingleWriter is throughput relative to the writers-1 run
+	// at the same shard count — the coordinator-apply win in isolation.
+	// When a custom -writers grid omits 1 it falls back to the grid's
+	// first writer count at that shard count.
+	SpeedupVsSingleWriter float64       `json:"speedup_vs_single_writer"`
+	Elapsed               time.Duration `json:"elapsed_ns"`
+	PerShard              []ShardLoad   `json:"shard_stats"`
+}
+
+// defaultWriterCounts is the sweep grid when the caller does not
+// override it (rpqbench -writers).
+var defaultWriterCounts = []int{1, 2, 4, 8}
+
+// WritersData benchmarks sequential vs stripe-parallel epoch
+// construction: for every shard count it runs the full multi-query
+// workload at each writer count over one shared window (the same
+// harness as the multiq and pipeline sweeps, so the three stay
+// comparable). Writers 1 applies every sub-batch's mutations inline on
+// the coordinator (the pre-multi-writer engine, byte-for-byte);
+// writers ≥ 2 partitions each sub-batch's half-mutations by vertex
+// stripe and builds the new epoch with that many goroutines while
+// shards still fan out the previous one. As with the pipeline sweep,
+// speedups need GOMAXPROCS > 1 — on one core extra writers only add
+// handoff.
+func WritersData(cfg Config) ([]WritersRow, error) {
+	w := newSweepWorkload(cfg)
+	shardCounts := cfg.ShardCounts
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 4, 8}
+	}
+	writerCounts := cfg.WriterCounts
+	if len(writerCounts) == 0 {
+		writerCounts = defaultWriterCounts
+	}
+	const depth = 2 // the engine default: construction overlaps fan-out
+
+	var rows []WritersRow
+	for _, shards := range shardCounts {
+		first := len(rows)
+		for _, writers := range writerCounts {
+			run, err := w.measure(shard.WithShards(shards), shard.WithPipelineDepth(depth), shard.WithWriters(writers))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, WritersRow{
+				Shards:     shards,
+				Writers:    writers,
+				Depth:      depth,
+				Queries:    len(w.queries),
+				Tuples:     len(w.d.Tuples),
+				Throughput: run.Throughput,
+				NsPerTuple: run.NsPerTuple,
+				Elapsed:    run.Elapsed,
+				PerShard:   run.PerShard,
+			})
+		}
+		single := rows[first].Throughput
+		for _, r := range rows[first:] {
+			if r.Writers == 1 {
+				single = r.Throughput
+				break
+			}
+		}
+		for i := first; i < len(rows); i++ {
+			rows[i].SpeedupVsSingleWriter = rows[i].Throughput / single
+		}
+	}
+	return rows, nil
+}
+
+// Writers prints the epoch-construction writer sweep.
+func Writers(cfg Config) error {
+	rows, err := WritersData(cfg)
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, fmt.Sprintf(
+		"Multi-writer epoch construction: shards × writers sweep on SO (%d cores available)",
+		runtime.GOMAXPROCS(0)))
+	var tab [][]string
+	for _, r := range rows {
+		tab = append(tab, []string{
+			fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%d", r.Writers),
+			fmt.Sprintf("%d", r.Queries),
+			eps(r.Throughput),
+			fmt.Sprintf("%.2fx", r.SpeedupVsSingleWriter),
+		})
+	}
+	table(cfg.Out, []string{"shards", "writers", "queries", "tuples/s", "vs 1 writer"}, tab)
+	return nil
+}

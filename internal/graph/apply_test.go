@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"streamrpq/internal/stream"
+)
+
+// TestApplierMatchesSerialGraph is the multi-writer acceptance
+// differential at the graph layer: the same random mutation stream —
+// inserts, refreshes, deletions and expiry passes, cut into per-epoch
+// sub-batches under the coordinator's discipline (expiry first) — is
+// driven through an Applier at writer counts 1/2/4/8 and through the
+// plain serial API, with pipelined reader churn on the versioned side.
+// Every Plan* return value must match its serial counterpart per call,
+// and the final graphs must be identical with zero retained dead
+// versions.
+func TestApplierMatchesSerialGraph(t *testing.T) {
+	const vertices = 12
+	for _, writers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("writers=%d", writers), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(9000 + writers)))
+			for trial := 0; trial < 20; trial++ {
+				g, plain := New(), New()
+				a := NewApplier(g, writers)
+				ts := int64(0)
+				var readers []Epoch
+
+				steps := 150 + rng.Intn(100)
+				for i := 0; i < steps; i++ {
+					a.BeginEpoch()
+					plain.AdvanceEpoch()
+					// Expiry only as the first mutation of its epoch — the
+					// sub-batch discipline PlanExpire's FIFO probe relies on.
+					if rng.Intn(6) == 0 {
+						deadline := ts - int64(rng.Intn(8))
+						got, want := a.PlanExpire(deadline), plain.Expire(deadline, nil)
+						if got != want {
+							t.Fatalf("trial %d step %d: PlanExpire(%d) = %d, serial Expire = %d", trial, i, deadline, got, want)
+						}
+					}
+					nMut := 1 + rng.Intn(4)
+					for m := 0; m < nMut; m++ {
+						ts += int64(rng.Intn(3))
+						src := stream.VertexID(rng.Intn(vertices))
+						dst := stream.VertexID(rng.Intn(vertices))
+						l := stream.LabelID(rng.Intn(2))
+						if rng.Intn(8) == 0 {
+							k := stream.EdgeKey{Src: src, Dst: dst, Label: l}
+							if got, want := a.PlanDelete(k), plain.Delete(k); got != want {
+								t.Fatalf("trial %d step %d: PlanDelete(%v) = %v, serial Delete = %v", trial, i, k, got, want)
+							}
+						} else {
+							if got, want := a.PlanInsert(src, dst, l, ts), plain.Insert(src, dst, l, ts); got != want {
+								t.Fatalf("trial %d step %d: PlanInsert = %v, serial Insert = %v", trial, i, got, want)
+							}
+						}
+					}
+					a.Flush()
+					// Reader churn like a pipelined coordinator with bounded
+					// depth.
+					if rng.Intn(2) == 0 {
+						e := g.Epoch()
+						g.AcquireEpoch(e)
+						readers = append(readers, e)
+					}
+					for len(readers) > 3 || (len(readers) > 0 && rng.Intn(3) == 0) {
+						g.ReleaseEpoch(readers[0])
+						readers = readers[1:]
+					}
+				}
+				for _, e := range readers {
+					g.ReleaseEpoch(e)
+				}
+				a.Close()
+
+				if dv := g.DeadVersions(); dv != 0 {
+					t.Fatalf("trial %d: %d dead versions survive full reader retirement", trial, dv)
+				}
+				got := collectAt(g, g.Epoch(), vertices)
+				want := collectAt(plain, plain.Epoch(), vertices)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d: applier-built graph diverged from serial oracle (%d vs %d edges)", trial, len(got), len(want))
+				}
+				if g.NumEdges() != plain.NumEdges() {
+					t.Fatalf("trial %d: NumEdges %d vs %d", trial, g.NumEdges(), plain.NumEdges())
+				}
+				if g.NumVertices() != plain.NumVertices() {
+					t.Fatalf("trial %d: NumVertices %d vs %d", trial, g.NumVertices(), plain.NumVertices())
+				}
+			}
+		})
+	}
+}
+
+// TestApplierConcurrentReaders: readers traversing leased epochs race
+// four writer goroutines building later epochs via the Applier; each
+// reader must observe exactly its epoch's frozen edge set (checked
+// under -race). This is the visibility half of the multi-writer
+// contract: construction concurrency must never leak into an epoch a
+// reader already holds.
+func TestApplierConcurrentReaders(t *testing.T) {
+	g := New()
+	a := NewApplier(g, 4)
+	defer a.Close()
+	const vertices = 10
+	rng := rand.New(rand.NewSource(31))
+	ts := int64(0)
+	var wg sync.WaitGroup
+	for round := 0; round < 60; round++ {
+		a.BeginEpoch()
+		if rng.Intn(4) == 0 {
+			a.PlanExpire(ts - 5)
+		}
+		for m := 0; m < 5; m++ {
+			ts++
+			src := stream.VertexID(rng.Intn(vertices))
+			dst := stream.VertexID(rng.Intn(vertices))
+			if rng.Intn(10) == 0 {
+				a.PlanDelete(stream.EdgeKey{Src: src, Dst: dst, Label: 0})
+			} else {
+				a.PlanInsert(src, dst, 0, ts)
+			}
+		}
+		a.Flush()
+		e := g.Epoch()
+		g.AcquireEpoch(e)
+		want := collectAt(g, e, vertices) // before any later epoch is built
+		wg.Add(1)
+		go func(e Epoch, want map[Edge]struct{}) {
+			defer wg.Done()
+			defer g.ReleaseEpoch(e)
+			got := collectAt(g, e, vertices)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("epoch %d: reader saw a drifting snapshot during multi-writer construction (%d vs %d edges)", e, len(got), len(want))
+			}
+		}(e, want)
+	}
+	wg.Wait()
+	if dv := g.DeadVersions(); dv != 0 {
+		t.Fatalf("%d dead versions after all readers released", dv)
+	}
+}
+
+// TestApplierPartitionDispatchAllocs pins the steady-state allocation
+// cost of the partition/dispatch path: once the stripe queues, the
+// overlay and the slabs have reached capacity, a plan→flush cycle of
+// refreshes plus an expiry sweep must not allocate (FIFO compaction
+// amortizes to well under one allocation per cycle).
+func TestApplierPartitionDispatchAllocs(t *testing.T) {
+	g := New()
+	a := NewApplier(g, 2)
+	defer a.Close()
+	ts := int64(0)
+	round := func() {
+		a.BeginEpoch()
+		a.PlanExpire(ts - 40)
+		for v := 0; v < 16; v++ {
+			ts++
+			a.PlanInsert(stream.VertexID(v), stream.VertexID((v+1)%16), 0, ts)
+		}
+		a.Flush()
+	}
+	for i := 0; i < 300; i++ {
+		round() // reach steady state: queues, overlay, FIFO, slabs all warm
+	}
+	if avg := testing.AllocsPerRun(100, round); avg > 1 {
+		t.Fatalf("partition/dispatch path allocates %.2f per plan→flush cycle, want ≤1", avg)
+	}
+}
+
+// TestApplierWritersDegenerate: writer counts below 1 clamp to the
+// sequential degenerate case, and Writers reports the effective count.
+func TestApplierWritersDegenerate(t *testing.T) {
+	g := New()
+	a := NewApplier(g, 0)
+	defer a.Close()
+	if a.Writers() != 1 {
+		t.Fatalf("Writers() = %d after clamping, want 1", a.Writers())
+	}
+	a.BeginEpoch()
+	if !a.PlanInsert(1, 2, 0, 7) {
+		t.Fatal("PlanInsert of a fresh edge reported a refresh")
+	}
+	a.Flush()
+	if !g.Has(key(1, 2, 0)) {
+		t.Fatal("flushed insert not visible")
+	}
+}

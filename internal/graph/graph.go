@@ -51,16 +51,14 @@
 // the writer. The top-level slab table is published via an atomic
 // pointer and grown copy-on-write; slabs never move once allocated.
 //
-// Traversal callbacks (Out/OutAt/In/InAt/Edges/EdgesAt) run while
-// holding the read lock of the vertex's stripe. A callback must not
-// call back into graph read methods for a vertex on the same stripe
-// when a concurrent writer exists — a recursive read-lock on one
-// stripe can still deadlock behind a blocked writer, exactly as with
-// the old global mutex, it is just 64× less likely to collide. Hot
-// paths should prefer AppendOutAt/AppendInAt, which copy the visible
-// half-edges into a caller-owned buffer under the stripe lock and
-// return; the caller then iterates entirely lock-free, which is both
-// reentrancy-safe and allocation-free once the buffer has grown.
+// Traversal callbacks (Out/OutAt/In/InAt/Edges/EdgesAt) receive a
+// private copy of the visible half-edges: the copy is taken under the
+// vertex's stripe read lock and the callback runs after it is
+// released, so callbacks may freely re-enter graph read methods — even
+// for the same stripe, even with concurrent writer goroutines. Hot
+// paths should prefer AppendOutAt/AppendInAt, which copy into a
+// caller-owned buffer instead of a per-call temporary and are
+// allocation-free once the buffer has grown.
 package graph
 
 import (
@@ -129,7 +127,7 @@ type Graph struct {
 	// Lock-order invariant: gcMu may be taken before stripe locks
 	// (gcLocked prunes under them) but never while holding one.
 	gcMu        sync.Mutex
-	readers     map[Epoch]int // active reader refcounts per epoch
+	leases      leaseRing // active reader refcounts per epoch
 	pending     []gcEntry
 	pendingHead int
 
@@ -154,7 +152,7 @@ type fifoEntry struct {
 
 // New returns an empty snapshot graph at epoch 0.
 func New() *Graph {
-	g := &Graph{readers: make(map[Epoch]int)}
+	g := &Graph{}
 	g.tab.Store(&table{})
 	g.minRC.Store(math.MaxUint64)
 	return g
@@ -178,34 +176,22 @@ func (g *Graph) AdvanceEpoch() Epoch { return Epoch(g.epoch.Add(1)) }
 // ReleaseEpoch.
 func (g *Graph) AcquireEpoch(e Epoch) {
 	g.gcMu.Lock()
-	g.readers[e]++
-	g.updateMinRC()
+	g.leases.acquire(e)
+	g.minRC.Store(g.leases.min())
 	g.gcMu.Unlock()
 }
 
 // ReleaseEpoch retires a reader registered with AcquireEpoch and
 // compacts every version no remaining (or future) reader can observe.
+// Amortized O(1): the lease ring (lease.go) replaces the old rescan of
+// a refcount map, so release cost no longer grows with the number of
+// active leases.
 func (g *Graph) ReleaseEpoch(e Epoch) {
 	g.gcMu.Lock()
-	if n := g.readers[e]; n <= 1 {
-		delete(g.readers, e)
-	} else {
-		g.readers[e] = n - 1
-	}
-	g.updateMinRC()
+	g.leases.release(e)
+	g.minRC.Store(g.leases.min())
 	g.gcLocked()
 	g.gcMu.Unlock()
-}
-
-// updateMinRC recomputes the cached minimum reader epoch (gcMu held).
-func (g *Graph) updateMinRC() {
-	min := uint64(math.MaxUint64)
-	for e := range g.readers {
-		if uint64(e) < min {
-			min = uint64(e)
-		}
-	}
-	g.minRC.Store(min)
 }
 
 // minReader returns the oldest epoch any active reader holds; the
@@ -491,32 +477,14 @@ func (g *Graph) Has(key stream.EdgeKey) bool {
 	return ok
 }
 
-// iterSide walks one vertex side's slab at epoch e under the stripe
-// read lock, invoking f per visible version.
+// iterSide copies one vertex side's visible half-edges under the
+// stripe read lock, then invokes f per entry with no lock held —
+// callbacks may re-enter graph read methods freely.
 func (g *Graph) iterSide(out bool, e Epoch, v stream.VertexID, f func(v stream.VertexID, l stream.LabelID, ts int64) bool) {
-	t := g.tab.Load()
-	if int(v) >= len(t.out) {
-		return
-	}
-	st := g.stripeFor(v)
-	st.RLock()
-	defer st.RUnlock()
-	var s *slab
-	if out {
-		s = t.out[v]
-	} else {
-		s = t.in[v]
-	}
-	if s == nil {
-		return
-	}
-	for i := range s.edges {
-		pe := &s.edges[i]
-		ts, ok := s.versionAt(pe, e)
-		if !ok {
-			continue
-		}
-		if !f(stream.VertexID(pe.other), stream.LabelID(pe.label), ts) {
+	var stack [64]HalfEdge
+	buf := g.appendSide(out, e, v, stack[:0])
+	for i := range buf {
+		if !f(buf[i].V, buf[i].L, buf[i].TS) {
 			return
 		}
 	}
@@ -550,8 +518,8 @@ func (g *Graph) appendSide(out bool, e Epoch, v stream.VertexID, buf []HalfEdge)
 }
 
 // Out calls f for every out-edge of src live at the current epoch.
-// Returning false stops the iteration early. f runs under the stripe
-// read lock; see the package comment for the reentrancy caveat.
+// Returning false stops the iteration early. f runs on a private copy
+// with no graph lock held and may re-enter graph read methods.
 func (g *Graph) Out(src stream.VertexID, f func(dst stream.VertexID, label stream.LabelID, ts int64) bool) {
 	g.iterSide(true, g.Epoch(), src, f)
 }
@@ -588,29 +556,19 @@ func (g *Graph) AppendInAt(e Epoch, dst stream.VertexID, buf []HalfEdge) []HalfE
 	return g.appendSide(false, e, dst, buf)
 }
 
-// edgesAt calls f for every edge visible at epoch e.
+// edgesAt calls f for every edge visible at epoch e. Each vertex's
+// half-edges are copied out under its stripe lock before f runs, so f
+// may re-enter graph read methods.
 func (g *Graph) edgesAt(e Epoch, f func(ed Edge) bool) {
 	t := g.tab.Load()
+	var buf []HalfEdge
 	for v := range t.out {
-		st := g.stripeFor(stream.VertexID(v))
-		st.RLock()
-		s := t.out[v]
-		if s == nil {
-			st.RUnlock()
-			continue
-		}
-		for i := range s.edges {
-			pe := &s.edges[i]
-			ts, ok := s.versionAt(pe, e)
-			if !ok {
-				continue
-			}
-			if !f(Edge{Src: stream.VertexID(v), Dst: stream.VertexID(pe.other), Label: stream.LabelID(pe.label), TS: ts}) {
-				st.RUnlock()
+		buf = g.appendSide(true, e, stream.VertexID(v), buf[:0])
+		for i := range buf {
+			if !f(Edge{Src: stream.VertexID(v), Dst: buf[i].V, Label: buf[i].L, TS: buf[i].TS}) {
 				return
 			}
 		}
-		st.RUnlock()
 	}
 }
 
@@ -640,6 +598,16 @@ func (g *Graph) Vertices(f func(v stream.VertexID) bool) {
 			return
 		}
 	}
+}
+
+// VertexUpperBound returns an exclusive upper bound on the dense
+// vertex ids the graph has ever allocated adjacency for. Iterating
+// [0, bound) with AppendOutAt visits every vertex that can have edges
+// at any epoch — unlike Vertices, which filters by liveness at the
+// current epoch and can therefore miss vertices whose edges are
+// visible only at an older leased epoch.
+func (g *Graph) VertexUpperBound() stream.VertexID {
+	return stream.VertexID(len(g.tab.Load().out))
 }
 
 // Expire removes every edge whose timestamp is ≤ deadline at the
@@ -706,7 +674,7 @@ func (g *Graph) DeadVersions() int {
 func (g *Graph) ActiveReaders() int {
 	g.gcMu.Lock()
 	defer g.gcMu.Unlock()
-	return len(g.readers)
+	return g.leases.distinct
 }
 
 // Clone returns a deep copy of the graph's content at the current epoch

@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLeaseRingBasics: the ring tracks the minimum held epoch through
+// in-order and out-of-order releases, duplicate acquires, and full
+// retirement.
+func TestLeaseRingBasics(t *testing.T) {
+	var r leaseRing
+	if r.min() != math.MaxUint64 {
+		t.Fatalf("empty ring min = %d, want MaxUint64", r.min())
+	}
+	r.acquire(5)
+	r.acquire(6)
+	r.acquire(7)
+	if r.min() != 5 || r.distinct != 3 || r.total != 3 {
+		t.Fatalf("after acquires: min=%d distinct=%d total=%d", r.min(), r.distinct, r.total)
+	}
+	r.release(6) // out of order: minimum unchanged
+	if r.min() != 5 || r.distinct != 2 {
+		t.Fatalf("after out-of-order release: min=%d distinct=%d", r.min(), r.distinct)
+	}
+	r.release(5) // head advances past the freed slot for 6
+	if r.min() != 7 || r.distinct != 1 {
+		t.Fatalf("after head release: min=%d distinct=%d", r.min(), r.distinct)
+	}
+	r.release(7)
+	if r.min() != math.MaxUint64 || r.distinct != 0 || r.total != 0 {
+		t.Fatalf("after full retirement: min=%d distinct=%d total=%d", r.min(), r.distinct, r.total)
+	}
+
+	// Duplicate acquires on one epoch: one distinct holder, refcounted.
+	r.acquire(9)
+	r.acquire(9)
+	if r.distinct != 1 || r.total != 2 {
+		t.Fatalf("duplicate acquire: distinct=%d total=%d", r.distinct, r.total)
+	}
+	r.release(9)
+	if r.min() != 9 {
+		t.Fatalf("refcounted epoch released early: min=%d", r.min())
+	}
+	r.release(9)
+	if r.min() != math.MaxUint64 {
+		t.Fatalf("epoch not fully released: min=%d", r.min())
+	}
+}
+
+// TestLeaseRingAcquireBelowBase: an acquire below the current minimum
+// (legal but rare — leases are near-monotone) reindexes the ring.
+func TestLeaseRingAcquireBelowBase(t *testing.T) {
+	var r leaseRing
+	r.acquire(10)
+	r.acquire(12)
+	r.acquire(4)
+	if r.min() != 4 || r.distinct != 3 {
+		t.Fatalf("after below-base acquire: min=%d distinct=%d", r.min(), r.distinct)
+	}
+	r.release(10)
+	if r.min() != 4 {
+		t.Fatalf("min moved on interior release: %d", r.min())
+	}
+	r.release(4)
+	if r.min() != 12 {
+		t.Fatalf("min after releasing reindexed head: %d, want 12", r.min())
+	}
+	r.release(12)
+	if r.total != 0 {
+		t.Fatalf("leases leaked: total=%d", r.total)
+	}
+}
+
+// TestLeaseRingUnknownRelease: releasing an epoch that was never
+// acquired — below base, beyond the ring, or a zero slot — is a no-op,
+// mirroring the refcount map this replaced.
+func TestLeaseRingUnknownRelease(t *testing.T) {
+	var r leaseRing
+	r.release(3) // empty ring
+	r.acquire(10)
+	r.release(2)  // below base
+	r.release(50) // beyond the ring
+	r.acquire(14)
+	r.release(12) // zero slot inside the span
+	if r.min() != 10 || r.total != 2 || r.distinct != 2 {
+		t.Fatalf("no-op releases mutated the ring: min=%d total=%d distinct=%d", r.min(), r.total, r.distinct)
+	}
+}
+
+// TestLeaseRingCompaction: a long-lived ring whose leases slide forward
+// epoch by epoch (the pipelined coordinator's steady state) must
+// compact its dead prefix — the backing array stays bounded by the
+// lease span, not by stream length.
+func TestLeaseRingCompaction(t *testing.T) {
+	var r leaseRing
+	const span = 8
+	for e := Epoch(0); e < span; e++ {
+		r.acquire(e)
+	}
+	for e := Epoch(span); e < 50_000; e++ {
+		r.acquire(e)
+		r.release(e - span)
+		if r.min() != uint64(e-span+1) {
+			t.Fatalf("epoch %d: min=%d, want %d", e, r.min(), e-span+1)
+		}
+	}
+	if len(r.refs) > 4096 {
+		t.Fatalf("ring never compacted: %d slots for a %d-epoch lease span", len(r.refs), span)
+	}
+	for e := Epoch(50_000 - span); e < 50_000; e++ {
+		r.release(e)
+	}
+	if r.total != 0 || r.min() != math.MaxUint64 {
+		t.Fatalf("leases leaked after drain: total=%d min=%d", r.total, r.min())
+	}
+}
+
+// TestLeaseRingRandomizedVsMap: differential against the refcount map
+// the ring replaced, over random acquire/release traffic biased toward
+// the near-monotone pattern but including stragglers and duplicates.
+func TestLeaseRingRandomizedVsMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	for trial := 0; trial < 30; trial++ {
+		var r leaseRing
+		oracle := map[Epoch]int{}
+		cur := Epoch(rng.Intn(100))
+		var held []Epoch
+		for step := 0; step < 2000; step++ {
+			if len(held) == 0 || rng.Intn(2) == 0 {
+				e := cur
+				if rng.Intn(10) == 0 && cur > 3 {
+					e = cur - Epoch(rng.Intn(4)) // straggler below the tip
+				}
+				cur += Epoch(rng.Intn(3))
+				r.acquire(e)
+				oracle[e]++
+				held = append(held, e)
+			} else {
+				i := rng.Intn(len(held))
+				e := held[i]
+				held[i] = held[len(held)-1]
+				held = held[:len(held)-1]
+				r.release(e)
+				if oracle[e]--; oracle[e] == 0 {
+					delete(oracle, e)
+				}
+			}
+			wantMin := uint64(math.MaxUint64)
+			wantTotal := 0
+			for e, n := range oracle {
+				wantTotal += n
+				if uint64(e) < wantMin {
+					wantMin = uint64(e)
+				}
+			}
+			if r.min() != wantMin || r.total != wantTotal || r.distinct != len(oracle) {
+				t.Fatalf("trial %d step %d: ring (min=%d total=%d distinct=%d) vs map (min=%d total=%d distinct=%d)",
+					trial, step, r.min(), r.total, r.distinct, wantMin, wantTotal, len(oracle))
+			}
+		}
+	}
+}
+
+// BenchmarkLeaseChurn measures the coordinator's steady-state lease
+// traffic: one epoch advance, one acquire at the tip and one release of
+// the oldest lease per iteration, with a pipeline's worth of leases
+// outstanding. Before the lease ring, every release rescanned all
+// active leases to recompute the minimum; the ring makes this O(1).
+func BenchmarkLeaseChurn(b *testing.B) {
+	g := New()
+	g.Insert(1, 2, 0, 1)
+	const depth = 64
+	var held []Epoch
+	for i := 0; i < depth; i++ {
+		e := g.AdvanceEpoch()
+		g.AcquireEpoch(e)
+		held = append(held, e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := g.AdvanceEpoch()
+		g.AcquireEpoch(e)
+		held = append(held, e)
+		g.ReleaseEpoch(held[0])
+		held = held[1:]
+	}
+	b.StopTimer()
+	for _, e := range held {
+		g.ReleaseEpoch(e)
+	}
+}

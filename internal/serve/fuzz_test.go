@@ -20,6 +20,17 @@ func FuzzResumeToken(f *testing.F) {
 	f.Add("v1-0-0")
 	f.Add("v1-17-42")
 	f.Add("v1-18446744073709551615-18446744073709551615")
+	// Boundary-adjacent positions around the eviction floor and the
+	// uint64 range: one below the maximum, maximum on one axis only,
+	// and the first value past the range (must be rejected, not
+	// wrapped — a wrapped token would reattach at a bogus position).
+	f.Add("v1-18446744073709551614-0")
+	f.Add("v1-0-18446744073709551615")
+	f.Add("v1-18446744073709551615-0")
+	f.Add("v1-18446744073709551616-0")
+	f.Add("v1-0-18446744073709551616")
+	f.Add("v1-1-0")
+	f.Add("v1-0-1")
 	f.Add("v2-1-1")
 	f.Add("v1--1-2")
 	f.Add("v1-1-2-3")

@@ -26,7 +26,9 @@ func newReplayRing(capacity int, floor Seq) *replayRing {
 }
 
 // append adds records (already in sequence order) and evicts from the
-// front to stay within capacity.
+// front to stay within capacity. Eviction compacts the backing array
+// in place, which is why since must copy: a sub-slice of recs retained
+// across an append would silently be overwritten with newer records.
 func (r *replayRing) append(recs ...Record) {
 	r.recs = append(r.recs, recs...)
 	if n := len(r.recs) - r.cap; n > 0 {
@@ -36,7 +38,10 @@ func (r *replayRing) append(recs ...Record) {
 }
 
 // since returns the retained records strictly after from, or ok=false
-// when records in (from, floor] were truncated away.
+// when records in (from, floor] were truncated away. The result is a
+// copy, never a view of the ring: append's in-place eviction would
+// clobber a retained sub-slice, turning a replay into a silently
+// corrupted stream instead of the 410 Gone the floor check promises.
 func (r *replayRing) since(from Seq) (recs []Record, ok bool) {
 	if from.Less(r.floor) {
 		return nil, false
@@ -46,7 +51,15 @@ func (r *replayRing) since(from Seq) (recs []Record, ok bool) {
 	for i < len(r.recs) && !from.Less(r.recs[i].seq) {
 		i++
 	}
-	return r.recs[i:], true
+	out := append([]Record(nil), r.recs[i:]...)
+	if from.Less(r.floor) {
+		// The eviction boundary moved past from while gathering (only
+		// possible if a caller ever reads the ring without the broker
+		// lock): the copy may be missing truncated records. Gone, never
+		// a silently truncated stream.
+		return nil, false
+	}
+	return out, true
 }
 
 // tail returns the position of the newest retained record, or the

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"streamrpq"
+)
+
+func mkRec(batch, index uint64) Record {
+	s := Seq{Batch: batch, Index: index}
+	return Record{Token: s.Token(), Batch: batch, TS: int64(index), seq: s}
+}
+
+// TestReplayRingSinceCopies is the aliasing regression for the
+// eviction boundary: a replay slice obtained from since must survive a
+// later append that evicts — append compacts the backing array in
+// place, so a since that returned a bare sub-slice would see its
+// records silently overwritten with newer ones (a truncated stream
+// wearing valid tokens).
+func TestReplayRingSinceCopies(t *testing.T) {
+	r := newReplayRing(8, Seq{})
+	for i := uint64(0); i < 8; i++ {
+		r.append(mkRec(1, i))
+	}
+	replay, ok := r.since(Seq{Batch: 1, Index: 3})
+	if !ok || len(replay) != 4 {
+		t.Fatalf("since = %d records, ok=%v; want 4, true", len(replay), ok)
+	}
+	// Evict aggressively: overwrite the whole backing array twice over.
+	for i := uint64(0); i < 16; i++ {
+		r.append(mkRec(2, i))
+	}
+	for i, rec := range replay {
+		want := Seq{Batch: 1, Index: uint64(4 + i)}
+		if rec.seq != want {
+			t.Fatalf("retained replay record %d mutated by eviction: seq %v, want %v", i, rec.seq, want)
+		}
+	}
+}
+
+// TestReplayRingGoneAtBoundary: tokens at or below the eviction floor
+// answer ok=false (410 Gone), tokens just above it replay exactly the
+// retained suffix — the boundary is never off by one in either
+// direction.
+func TestReplayRingGoneAtBoundary(t *testing.T) {
+	r := newReplayRing(4, Seq{})
+	for i := uint64(0); i < 10; i++ {
+		r.append(mkRec(1, i))
+	}
+	// Capacity 4: records 0..5 evicted, floor = (1,5), retained 6..9.
+	if _, ok := r.since(Seq{Batch: 1, Index: 4}); ok {
+		t.Fatal("token below the floor answered a replay")
+	}
+	recs, ok := r.since(Seq{Batch: 1, Index: 5})
+	if !ok || len(recs) != 4 {
+		t.Fatalf("token at the floor: %d records, ok=%v; want the full retained window (4, true)", len(recs), ok)
+	}
+	recs, ok = r.since(Seq{Batch: 1, Index: 8})
+	if !ok || len(recs) != 1 || recs[0].seq != (Seq{Batch: 1, Index: 9}) {
+		t.Fatalf("token inside the window: %v ok=%v, want exactly the final record", recs, ok)
+	}
+	recs, ok = r.since(Seq{Batch: 1, Index: 9})
+	if !ok || len(recs) != 0 {
+		t.Fatalf("token at the tail: %d records, ok=%v; want empty replay, true", len(recs), ok)
+	}
+}
+
+// TestSubscribeEvictionRace races reattachment against ring eviction
+// under -race: one goroutine ingests batches through a broker with a
+// replay window smaller than three batches while the consumer
+// repeatedly detaches and reattaches with its last token. Every
+// successful reattach must continue the stream exactly contiguously —
+// a token whose record was evicted between checks must answer ErrGone,
+// never a silently truncated stream.
+func TestSubscribeEvictionRace(t *testing.T) {
+	ev, err := streamrpq.NewMultiEvaluator(1<<30, 1<<29, streamrpq.MustCompile("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ev.Close()
+	b, err := NewBroker(ev, BrokerConfig{ReplayWindow: 7, SubscriberBuffer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Shutdown()
+
+	const nBatches, perBatch = 200, 3
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		n := 0
+		for i := 0; i < nBatches; i++ {
+			var tup []streamrpq.Tuple
+			for j := 0; j < perBatch; j++ {
+				n++
+				// Unique vertices: each a-edge is exactly one match, so
+				// tokens are dense — (b, 0..perBatch-1) for every batch —
+				// and the successor of any position is computable.
+				tup = append(tup, streamrpq.Tuple{TS: int64(i + 1), Src: fmt.Sprintf("s%d", n), Dst: fmt.Sprintf("d%d", n), Label: "a"})
+			}
+			if _, err := b.Ingest(tup); err != nil {
+				t.Errorf("ingest: %v", err)
+				return
+			}
+		}
+	}()
+
+	succ := func(s Seq) Seq {
+		if s.Index+1 < perBatch {
+			return Seq{Batch: s.Batch, Index: s.Index + 1}
+		}
+		return Seq{Batch: s.Batch + 1, Index: 0}
+	}
+	finalSeq := Seq{Batch: nBatches, Index: perBatch - 1}
+	// Start just before (1,0), the first record's position: batch
+	// numbering starts at 1, so the zero batch's last slot is the
+	// position whose successor is the stream's first record.
+	from := Seq{Batch: 0, Index: perBatch - 1}
+	haveFrom := true // false after a Gone re-sync at the live tail
+	var expect *Seq  // seq the next record must carry, nil after re-sync
+	gone, attaches := 0, 0
+	for {
+		finished := false
+		select {
+		case <-stop:
+			finished = true
+		default:
+		}
+		var fromPtr *Seq
+		if haveFrom {
+			f := from
+			fromPtr = &f
+			e := succ(from)
+			expect = &e
+		} else {
+			expect = nil // live-tail attach: accept whatever comes first
+		}
+		sub, err := b.Subscribe(nil, nil, fromPtr)
+		attaches++
+		switch {
+		case errors.Is(err, ErrGone):
+			// The replay window moved past our position: the documented
+			// re-sync outcome. Never a truncated replay.
+			gone++
+			haveFrom = false
+			if finished {
+				wg.Wait()
+				t.Logf("attaches=%d gone=%d (ended by eviction)", attaches, gone)
+				return
+			}
+			continue
+		case errors.Is(err, ErrFuture):
+			// Attached ahead of the published stream (the ingester has
+			// not produced our successor yet): retry.
+			if finished {
+				wg.Wait()
+				return
+			}
+			continue
+		case err != nil:
+			t.Fatalf("subscribe from %v: %v", fromPtr, err)
+		}
+	drain:
+		for i := 0; i < 64; i++ {
+			select {
+			case rec, open := <-sub.ch:
+				if !open || rec.EOF {
+					break drain // evicted as a slow consumer; reattach
+				}
+				if expect != nil && rec.seq != *expect {
+					t.Fatalf("gap after reattach at %v: got %v, want %v", from, rec.seq, *expect)
+				}
+				e := succ(rec.seq)
+				expect = &e
+				from, haveFrom = rec.seq, true
+			default:
+				break drain // buffer momentarily empty; reattach
+			}
+		}
+		b.Unsubscribe(sub)
+		if haveFrom && from == finalSeq {
+			wg.Wait()
+			t.Logf("attaches=%d gone=%d (consumed to the tail)", attaches, gone)
+			return
+		}
+		if finished && !haveFrom {
+			// Re-synced at the tail after the stream ended: nothing more
+			// will arrive.
+			wg.Wait()
+			t.Logf("attaches=%d gone=%d (re-synced past the end)", attaches, gone)
+			return
+		}
+	}
+}
+
+// TestSubscribeGoneDeterministic pins the broker-level boundary
+// without any concurrency: after the window slides past a token,
+// Subscribe answers ErrGone; a token still inside the window replays
+// contiguously to the tail.
+func TestSubscribeGoneDeterministic(t *testing.T) {
+	ev, err := streamrpq.NewMultiEvaluator(1<<30, 1<<29, streamrpq.MustCompile("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ev.Close()
+	b, err := NewBroker(ev, BrokerConfig{ReplayWindow: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Shutdown()
+	for i := 0; i < 10; i++ {
+		if _, err := b.Ingest([]streamrpq.Tuple{
+			{TS: int64(i + 1), Src: fmt.Sprintf("s%d", i), Dst: fmt.Sprintf("d%d", i), Label: "a"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One record per batch; window 4 retains batches 7..10.
+	if _, err := b.Subscribe(nil, nil, &Seq{Batch: 2, Index: 0}); !errors.Is(err, ErrGone) {
+		t.Fatalf("evicted token: err = %v, want ErrGone", err)
+	}
+	sub, err := b.Subscribe(nil, nil, &Seq{Batch: 7, Index: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Unsubscribe(sub)
+	for want := uint64(8); want <= 10; want++ {
+		rec := <-sub.ch
+		if rec.seq != (Seq{Batch: want, Index: 0}) {
+			t.Fatalf("replay out of order: %v, want batch %d", rec.seq, want)
+		}
+	}
+	if _, err := b.Subscribe(nil, nil, &Seq{Batch: 11, Index: 0}); !errors.Is(err, ErrFuture) {
+		t.Fatalf("future token: err = %v, want ErrFuture", err)
+	}
+}

@@ -49,6 +49,22 @@
 // every sub-batch is collected immediately after dispatch, before the
 // next sub-batch's mutations are applied.
 //
+// # Multi-writer epoch construction
+//
+// Within one sub-batch the mutations themselves are built by N writer
+// goroutines (WithWriters): the coordinator plans the sub-batch
+// serially — hazard checks consult a plan overlay so they observe the
+// sub-batch's own unapplied inserts — partitioning every edge mutation
+// into two half-mutations owned by the vertex stripes of its
+// endpoints, and graph.Applier.Flush applies the per-stripe queues
+// concurrently before dispatch. A slab belongs to exactly one stripe
+// and each stripe's queue preserves plan order, so every slab sees the
+// identical mutation history at any writer count (the deterministic
+// stripe-ordered two-phase apply); visibility still flips only at the
+// single atomic epoch advance that precedes planning. writers=1
+// applies inline and reproduces the single-writer engine byte for
+// byte.
+//
 // Under this discipline the sharded engine produces, per query, the
 // result stream of the sequential core.Multi coordinator, at any
 // pipeline depth — on arbitrary update streams, explicit deletions
@@ -101,9 +117,10 @@ type Result struct {
 }
 
 type config struct {
-	shards int
-	queue  int
-	depth  int
+	shards  int
+	queue   int
+	depth   int
+	writers int
 }
 
 // Option configures an Engine.
@@ -112,6 +129,17 @@ type Option func(*config)
 // WithShards sets the number of worker shards queries are partitioned
 // over (default 1; n <= 0 is an error).
 func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithWriters sets the number of writer goroutines building each
+// epoch's graph mutations (default 1; n <= 0 is an error). The
+// coordinator plans every sub-batch serially, partitions the resulting
+// half-mutations by vertex stripe, and n writers apply the per-stripe
+// queues concurrently before the sub-batch is dispatched (see
+// graph.Applier). Visibility still flips only at the single atomic
+// epoch advance, so the result stream is byte-identical at every
+// writer count; writers == 1 applies inline with no pool at all.
+// Composes freely with WithShards and WithPipelineDepth.
+func WithWriters(n int) Option { return func(c *config) { c.writers = n } }
 
 // WithQueueDepth bounds each shard's job channel (default 2). The
 // coordinator blocks when a shard's queue is full: backpressure, not
@@ -137,6 +165,7 @@ func WithPipelineDepth(n int) Option { return func(c *config) { c.depth = n } }
 type Engine struct {
 	spec    window.Spec
 	g       *graph.Graph
+	app     *graph.Applier // plans + stripe-parallel-applies epoch mutations
 	win     *window.Manager
 	depth   int
 	workers []*worker
@@ -256,7 +285,7 @@ func New(spec window.Spec, opts ...Option) (*Engine, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	cfg := config{shards: 1, queue: 2, depth: 2}
+	cfg := config{shards: 1, queue: 2, depth: 2, writers: 1}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -269,9 +298,14 @@ func New(spec window.Spec, opts ...Option) (*Engine, error) {
 	if cfg.depth <= 0 {
 		return nil, fmt.Errorf("shard: pipeline depth must be positive, got %d", cfg.depth)
 	}
+	if cfg.writers <= 0 {
+		return nil, fmt.Errorf("shard: writer count must be positive, got %d", cfg.writers)
+	}
+	g := graph.New()
 	s := &Engine{
 		spec:    spec,
-		g:       graph.New(),
+		g:       g,
+		app:     graph.NewApplier(g, cfg.writers),
 		win:     window.NewManager(spec),
 		depth:   cfg.depth,
 		workers: make([]*worker, cfg.shards),
@@ -295,6 +329,9 @@ func (s *Engine) NumShards() int { return len(s.workers) }
 
 // PipelineDepth returns the configured bound on in-flight sub-batches.
 func (s *Engine) PipelineDepth() int { return s.depth }
+
+// NumWriters returns the configured epoch-construction writer count.
+func (s *Engine) NumWriters() int { return s.app.Writers() }
 
 // Len returns the number of live (non-removed) queries.
 func (s *Engine) Len() int {
@@ -729,14 +766,17 @@ func (s *Engine) getSteps() []step {
 
 // subBatch builds, applies and dispatches one sub-batch starting at
 // tuple index i, returning the index of the first tuple of the next
-// sub-batch. All shared-state mutations (graph, window clock) happen
-// here, at a fresh epoch, before any shard sees the steps.
+// sub-batch. Shared-state changes happen in two phases at a fresh
+// epoch: the coordinator plans every mutation serially (hazard checks
+// read the plan overlay, so they see the sub-batch's own unapplied
+// inserts), then Flush applies the per-stripe queues with the
+// configured writers and barriers before any shard sees the steps.
 func (s *Engine) subBatch(tuples []stream.Tuple, i int) int {
 	if tuples[i].Op == stream.Delete {
 		s.deleteStep(tuples[i], i)
 		return i + 1
 	}
-	epoch := s.g.AdvanceEpoch()
+	epoch := s.app.BeginEpoch()
 	steps := s.getSteps()
 	j := i
 	for ; j < len(tuples); j++ {
@@ -745,7 +785,7 @@ func (s *Engine) subBatch(tuples []stream.Tuple, i int) int {
 		ins := rel || s.retain // retain-all mode stores every label
 		if j > i {
 			_, due := s.win.Peek(t.TS)
-			if due || t.Op == stream.Delete || (ins && s.g.Has(t.Key())) {
+			if due || t.Op == stream.Delete || (ins && s.app.Live(t.Key())) {
 				break // hazard: must start a fresh sub-batch
 			}
 		}
@@ -755,11 +795,14 @@ func (s *Engine) subBatch(tuples []stream.Tuple, i int) int {
 		}
 		st := step{tuple: t, index: j}
 		if ex, due := s.win.ObserveAt(t.TS, uint64(epoch)); due {
-			s.g.Expire(ex.Deadline, nil)
+			// Expiry only ever fires at the first tuple (the Peek hazard
+			// above cuts otherwise), so the plan is empty here — the
+			// precondition PlanExpire's FIFO probe needs.
+			s.win.NoteRemoved(s.app.PlanExpire(ex.Deadline))
 			st.expire, st.deadline = true, ex.Deadline
 		}
 		if ins {
-			s.g.Insert(t.Src, t.Dst, t.Label, t.TS)
+			s.app.PlanInsert(t.Src, t.Dst, t.Label, t.TS)
 			s.noteLabel(t)
 		}
 		if !rel {
@@ -771,6 +814,7 @@ func (s *Engine) subBatch(tuples []stream.Tuple, i int) int {
 		}
 		steps = append(steps, st)
 	}
+	s.app.Flush()
 	s.dispatch(steps, epoch)
 	return j
 }
@@ -786,12 +830,13 @@ func (s *Engine) deleteStep(t stream.Tuple, index int) {
 	if t.TS > s.now {
 		s.now = t.TS
 	}
-	epoch := s.g.AdvanceEpoch()
+	epoch := s.app.BeginEpoch()
 	if ex, due := s.win.ObserveAt(t.TS, uint64(epoch)); due {
-		s.g.Expire(ex.Deadline, nil)
+		s.win.NoteRemoved(s.app.PlanExpire(ex.Deadline))
+		s.app.Flush()
 		steps := append(s.getSteps(), step{index: index, deadline: ex.Deadline, expire: true, skip: true})
 		s.dispatch(steps, epoch)
-		epoch = s.g.AdvanceEpoch()
+		epoch = s.app.BeginEpoch()
 	}
 	rel := s.relevantLabel(t.Label)
 	if !rel {
@@ -800,9 +845,10 @@ func (s *Engine) deleteStep(t stream.Tuple, index int) {
 			return
 		}
 	}
-	if !s.g.Delete(t.Key()) {
+	if !s.app.PlanDelete(t.Key()) {
 		return // deleting an absent edge is a no-op
 	}
+	s.app.Flush()
 	s.noteLabel(t)
 	if !rel {
 		return // graph updated (retain-all); no member work
@@ -1028,6 +1074,7 @@ func (s *Engine) Close() error {
 	s.drain()         // defensive: ProcessBatch drains on every exit path
 	s.finishPending() // join bootstrap goroutines, release their leases
 	s.closed = true
+	s.app.Close() // release the writer pool (idle once drained)
 	if s.started {
 		for _, w := range s.workers {
 			close(w.in)

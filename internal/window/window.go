@@ -81,10 +81,15 @@ func (m *Manager) Peek(ts int64) (deadline int64, due bool) {
 // which the retirement was applied. An epoch-versioned snapshot graph
 // (internal/graph) keeps the expired edges visible to readers of
 // earlier epochs; the stamp records which epoch's readers are the first
-// to observe the post-expiry window.
+// to observe the post-expiry window. Removed is the number of edges the
+// pass retired, annotated after the fact via NoteRemoved: with
+// stripe-parallel epoch construction the removals are applied by
+// several writers partitioned by vertex stripe, and the count is their
+// deterministic merge (a plan-order sum, independent of writer count).
 type Expiry struct {
 	Deadline int64
 	Epoch    uint64
+	Removed  int
 }
 
 // ObserveAt is Observe for an epoch-versioned coordinator: when the
@@ -113,6 +118,11 @@ func (m *Manager) ObserveAt(ts int64, epoch uint64) (Expiry, bool) {
 // LastExpiry returns the most recent epoch-stamped expiry committed via
 // ObserveAt (zero value if none).
 func (m *Manager) LastExpiry() Expiry { return m.last }
+
+// NoteRemoved annotates the most recent expiry with the number of edges
+// its pass retired. Like the epoch stamp, the count is run-local
+// bookkeeping and deliberately not part of State.
+func (m *Manager) NoteRemoved(n int) { m.last.Removed = n }
 
 // Boundary returns W^e of the last expiry run.
 func (m *Manager) Boundary() int64 { return m.boundary }

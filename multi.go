@@ -27,6 +27,7 @@ type MultiEvaluator struct {
 	multi    *core.Multi   // sequential backend (default)
 	sharded  *shard.Engine // concurrent backend (after WithShards)
 	depth    int           // pipeline depth for the sharded backend (0 = engine default)
+	writers  int           // epoch-construction writers for the sharded backend (0 = engine default)
 	queries  []*multiMember
 	persist  *persistState // nil unless WithPersistence/Recover was used
 	lastTS   int64
@@ -152,6 +153,9 @@ func (m *MultiEvaluator) WithShards(n int) error {
 	if m.depth > 0 {
 		opts = append(opts, shard.WithPipelineDepth(m.depth))
 	}
+	if m.writers > 0 {
+		opts = append(opts, shard.WithWriters(m.writers))
+	}
 	eng, err := shard.New(m.spec, opts...)
 	if err != nil {
 		return err
@@ -218,6 +222,41 @@ func (m *MultiEvaluator) PipelineDepth() int {
 		return 0
 	}
 	return m.sharded.PipelineDepth()
+}
+
+// WithWriters sets how many writer goroutines the sharded backend uses
+// to build each epoch's graph mutations (see shard.WithWriters; engine
+// default 1). Mutations are planned serially, partitioned by vertex
+// stripe, and applied concurrently before each sub-batch is
+// dispatched; the result stream is byte-identical at every writer
+// count, so this is purely a throughput knob. Call before the first
+// tuple, in any order with WithShards and WithPipelineDepth; without
+// WithShards the sequential backend ignores it.
+func (m *MultiEvaluator) WithWriters(n int) error {
+	if m.started {
+		return fmt.Errorf("streamrpq: WithWriters after processing started")
+	}
+	if m.persist != nil {
+		return fmt.Errorf("streamrpq: WithWriters after WithPersistence (configure the engine before enabling durability)")
+	}
+	if n <= 0 {
+		return fmt.Errorf("streamrpq: writer count must be positive, got %d", n)
+	}
+	m.writers = n
+	if m.sharded != nil {
+		// Rebuild the sharded backend with the new writer count.
+		return m.WithShards(m.sharded.NumShards())
+	}
+	return nil
+}
+
+// Writers returns the sharded backend's epoch-construction writer
+// count (0 while the sequential backend is active).
+func (m *MultiEvaluator) Writers() int {
+	if m.sharded == nil {
+		return 0
+	}
+	return m.sharded.NumWriters()
 }
 
 // EnableDynamicQueries switches the evaluator to retain-all mode, the

@@ -128,12 +128,16 @@ func TestKillRecoverDifferential(t *testing.T) {
 	// default pipeline depth (2, pipelined). Depth 1 pins the barriered
 	// coordinator, depth 4 a deeper pipeline: checkpoints are taken at
 	// batch boundaries, where the pipeline is drained, so recovery must
-	// be depth-independent.
-	for _, cfg := range []struct{ shards, depth int }{
-		{0, 0}, {1, 0}, {4, 0}, {4, 1}, {4, 4},
+	// be depth-independent. writers 0 = the engine default (1); the
+	// multi-writer configs pin that stripe-parallel epoch construction
+	// leaves no residue in checkpoints either — snapshots are
+	// writer-count-free, and a snapshot taken at one writer count
+	// restores into any other.
+	for _, cfg := range []struct{ shards, depth, writers int }{
+		{0, 0, 0}, {1, 0, 0}, {4, 0, 0}, {4, 1, 0}, {4, 4, 0}, {4, 0, 4}, {1, 2, 2},
 	} {
-		shards, depth := cfg.shards, cfg.depth
-		t.Run(fmt.Sprintf("shards=%d/depth=%d", shards, depth), func(t *testing.T) {
+		shards, depth, writers := cfg.shards, cfg.depth, cfg.writers
+		t.Run(fmt.Sprintf("shards=%d/depth=%d/writers=%d", shards, depth, writers), func(t *testing.T) {
 			// Delete/re-insert churn puts the crash point mid-churn: the
 			// recovered engines' support counts (snapshot format v2) must
 			// reproduce the invalidation stream exactly.
@@ -151,6 +155,11 @@ func TestKillRecoverDifferential(t *testing.T) {
 				}
 				if shards > 0 {
 					if err := m.WithShards(shards); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if writers > 0 {
+					if err := m.WithWriters(writers); err != nil {
 						t.Fatal(err)
 					}
 				}
