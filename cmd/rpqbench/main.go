@@ -7,6 +7,7 @@
 //	rpqbench -exp fig4 [-scale 40000] [-seed 1]
 //	rpqbench -exp all
 //	rpqbench -exp multiq -json > BENCH_multiq.json
+//	rpqbench -exp multiq-shared -shards 1,2,8 -json > BENCH_multiq_shared.json
 //	rpqbench -exp pipeline -shards 1,2,4,8 -pipeline 1,2,4 -json > BENCH_pipeline.json
 //	rpqbench -exp churn -json > BENCH_churn.json
 //	rpqbench -exp writers -writers 1,2,4,8 -json > BENCH_writers.json
@@ -15,7 +16,8 @@
 // stats) for experiments with structured drivers, so benchmark
 // trajectories can be recorded as BENCH_*.json files across commits.
 // -shards, -pipeline and -writers override the sweep grids of the
-// multiq, pipeline and writers experiments (comma-separated lists).
+// multiq, multiq-shared, pipeline and writers experiments
+// (comma-separated lists).
 //
 // -cpuprofile and -memprofile write pprof profiles covering the
 // selected experiments (CPU over the whole run; heap snapshotted after
@@ -59,7 +61,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed for dataset and workload generation")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of tables (structured experiments only)")
-		shards  = flag.String("shards", "", "comma-separated shard counts for the multiq/pipeline sweeps (default grid if empty)")
+		shards  = flag.String("shards", "", "comma-separated shard counts for the multiq/multiq-shared/pipeline sweeps (default grid if empty)")
 		depths  = flag.String("pipeline", "", "comma-separated pipeline depths for the pipeline sweep (default 1,2,4; 1 = barriered)")
 		writers = flag.String("writers", "", "comma-separated writer counts for the writers sweep (default 1,2,4,8; 1 = sequential apply)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")

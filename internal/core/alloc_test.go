@@ -72,6 +72,39 @@ func TestRAPQInsertSteadyStateAllocs(t *testing.T) {
 	})
 }
 
+// TestMultiRelevanceDispatchAllocs: the relevance-ordered dispatch of
+// the multi-query coordinator must add no allocations of its own — the
+// per-label group lists are built at registration and Groups() returns
+// a shared slice, so a steady-state tuple costs only what its member
+// engines cost.
+func TestMultiRelevanceDispatchAllocs(t *testing.T) {
+	m, err := NewMulti(window.Spec{Size: 1 << 40, Slide: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []string{"a", "b", "c"}
+	// Three groups with different alphabets, so every tuple exercises
+	// both the dispatch list and the skip accounting.
+	for _, expr := range []string{"a/b", "a/b", "a+", "c*"} {
+		if _, err := m.Add(bind(t, expr, labels...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const n = 64
+	tuples := chainTuples(n, 1)
+	for _, tu := range tuples {
+		m.Process(tu)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		for _, tu := range tuples {
+			m.Process(tu)
+		}
+	})
+	if perTuple := avg / n; perTuple >= 0.5 {
+		t.Errorf("relevance dispatch allocates %.2f/tuple (avg %.1f per %d-tuple run), want < 0.5", perTuple, avg, n)
+	}
+}
+
 // TestParallelRAPQFanOutAllocs: the tree-parallel fan-out may allocate
 // per call (one channel, one closure per worker goroutine), but never
 // per tree or per edge. A hub tuple touching 64 trees must stay within

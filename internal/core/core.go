@@ -133,6 +133,13 @@ type Stats struct {
 	InsertCalls    int64 // invocations of Insert/Extend (amortized-cost probe)
 	ConflictsFound int64 // RSPQ only
 	Unmarkings     int64 // RSPQ only
+
+	// Multi-query coordinators only: shared-group layout and the effect
+	// of the per-label relevance filter on dispatch.
+	Groups         int   // live Δ-index groups (≤ live queries)
+	SharedGroups   int   // groups evaluated once for ≥ 2 subscribed queries
+	Dispatches     int64 // (tuple, group) applications passing the label filter
+	RelevanceSkips int64 // (tuple, group) applications the filter avoided
 }
 
 // nodeKey packs a (vertex, automaton state) pair. State counts are

@@ -14,24 +14,41 @@ import (
 // the multi-query direction the paper lists as future work (§7).
 //
 // Sharing model: the window content G_{W,τ} is query-independent, so
-// it is stored once; each member query keeps its own Δ tree index and
-// result sink. A tuple is ingested into the shared graph if its label
-// is relevant to at least one member (or unconditionally in retain-all
-// mode, see SetRetainAll), and each member whose alphabet contains the
-// label updates its own index. All members must share the same window
-// specification (the snapshot is common).
+// it is stored once. Registered queries are *slots* (holding the
+// query's sink and registration index) that subscribe to *groups*:
+// queries whose bound automata are structurally identical — equal
+// Bound.Fingerprint, i.e. equal path language over the same label ids —
+// share ONE group, whose single Δ tree index is maintained once and
+// whose emissions fan out to every subscriber's sink in registration
+// order. Since the engine is deterministic, each subscriber observes
+// byte-for-byte the stream a private engine would have produced, while
+// the per-tuple work is proportional to the number of distinct automata,
+// not the number of queries. SetSharing(false) restores the one-group-
+// per-query layout.
 //
-// The member slice may contain nil tombstones: Remove detaches a query
+// Per tuple, dispatch consults a RelevanceIndex: only groups with a
+// transition on the incoming label are touched, most selective first.
+//
+// The slot slice may contain nil tombstones: removal detaches a query
 // without renumbering the survivors, so registration order — which the
 // deterministic result merge depends on — stays stable for the
 // lifetime of the coordinator.
 type Multi struct {
 	g       *graph.Graph
 	win     *window.Manager
-	members []*RAPQ // nil entries are removed members
+	slots   []*multiSlot  // nil entries are removed queries
+	groups  []*multiGroup // live groups, creation order
+	rel     RelevanceIndex
+	sharing bool
 	now     int64
 	seen    int64
 	dropped int64
+
+	// Relevance-filter accounting: dispatches counts (tuple, group)
+	// applications that passed the label filter, relevanceSkips counts
+	// the pairs it avoided (for tuples that reached at least one group).
+	dispatches     int64
+	relevanceSkips int64
 
 	// retain-all mode: the graph stores every label, not just the union
 	// of the registered alphabets, so a query registered later can
@@ -44,17 +61,87 @@ type Multi struct {
 	labelTS []int64
 }
 
+// multiSlot is one registered query: its bound automaton, its private
+// result sink, and the engine options it was registered with. The
+// group pointer is the slot's current subscription.
+type multiSlot struct {
+	bound   *automaton.Bound
+	sink    Sink
+	scanAll bool
+	key     string // group key: Fingerprint + config marker
+	group   *multiGroup
+}
+
+// multiGroup owns one shared Δ-index engine evaluated once per tuple
+// for all subscribed slots. subs holds subscriber slot indices in
+// ascending registration order (the fan-out order).
+type multiGroup struct {
+	eng   *RAPQ
+	bound *automaton.Bound
+	key   string
+	subs  []int
+}
+
+// groupSink fans one engine emission out to every subscriber's sink,
+// in registration order — the order a loop over private members would
+// have delivered it.
+type groupSink struct {
+	m *Multi
+	g *multiGroup
+}
+
+func (s *groupSink) OnMatch(mt Match) {
+	for _, i := range s.g.subs {
+		if sk := s.m.slots[i].sink; sk != nil {
+			sk.OnMatch(mt)
+		}
+	}
+}
+
+func (s *groupSink) OnInvalidate(mt Match) {
+	for _, i := range s.g.subs {
+		if sk := s.m.slots[i].sink; sk != nil {
+			sk.OnInvalidate(mt)
+		}
+	}
+}
+
 // NewMulti creates a multi-query evaluator with the shared window
-// specification.
+// specification. Query sharing is on by default; see SetSharing.
 func NewMulti(spec window.Spec) (*Multi, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	return &Multi{
-		g:   graph.New(),
-		win: window.NewManager(spec),
+		g:       graph.New(),
+		win:     window.NewManager(spec),
+		sharing: true,
 	}, nil
 }
+
+// SetSharing switches shared-group evaluation on or off. Must be called
+// before the first tuple and before RestoreState: already-registered
+// queries are regrouped with fresh engines (legal while all state is
+// empty), so engine pointers previously returned by Add are invalidated.
+func (m *Multi) SetSharing(on bool) error {
+	if m.seen > 0 {
+		return fmt.Errorf("core: SetSharing after processing started")
+	}
+	m.sharing = on
+	m.groups = nil
+	for i, sl := range m.slots {
+		if sl == nil {
+			continue
+		}
+		sl.group = nil
+		m.subscribe(sl, i)
+	}
+	m.rebuildRelevance()
+	return nil
+}
+
+// Sharing reports whether equivalent queries share one Δ-index group.
+func (m *Multi) Sharing() bool { return m.sharing }
 
 // SetRetainAll switches the shared graph to retain-all mode: every
 // tuple mutates the graph even when no registered query's alphabet
@@ -74,10 +161,82 @@ func (m *Multi) SetRetainAll(on bool) error {
 // RetainAll reports whether the shared graph stores every label.
 func (m *Multi) RetainAll() bool { return m.retain }
 
+// slotKey derives the group key from the bound automaton and the
+// engine configuration: only slots that would run byte-identical
+// engines may share a group.
+func slotKey(a *automaton.Bound, scanAll bool) string {
+	k := a.Fingerprint()
+	if scanAll {
+		k += "|scanall"
+	}
+	return k
+}
+
+// newSlot materializes the registration options into a slot.
+func (m *Multi) newSlot(a *automaton.Bound, opts ...Option) *multiSlot {
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &multiSlot{
+		bound:   a,
+		sink:    cfg.sink,
+		scanAll: cfg.scanAllTrees,
+		key:     slotKey(a, cfg.scanAllTrees),
+	}
+}
+
+// newGroup builds a fresh shared engine for the slot's automaton and
+// attaches it to the coordinator's graph.
+func (m *Multi) newGroup(sl *multiSlot) *multiGroup {
+	g := &multiGroup{bound: sl.bound, key: sl.key}
+	engOpts := []Option{WithSink(&groupSink{m: m, g: g})}
+	if sl.scanAll {
+		engOpts = append(engOpts, WithoutInvertedIndex())
+	}
+	g.eng = NewRAPQ(sl.bound, m.win.Spec(), engOpts...)
+	g.eng.AttachGraph(m.g)
+	return g
+}
+
+// subscribe attaches the slot (at registration index idx) to its group,
+// creating the group if none matches. Returns the group.
+func (m *Multi) subscribe(sl *multiSlot, idx int) *multiGroup {
+	var g *multiGroup
+	if m.sharing {
+		for _, cand := range m.groups {
+			if cand.key == sl.key {
+				g = cand
+				break
+			}
+		}
+	}
+	if g == nil {
+		g = m.newGroup(sl)
+		m.groups = append(m.groups, g)
+	}
+	g.subs = append(g.subs, idx)
+	sl.group = g
+	return g
+}
+
+// rebuildRelevance recomputes the per-label dispatch lists; called on
+// every membership change (between tuples).
+func (m *Multi) rebuildRelevance() {
+	bounds := make([]*automaton.Bound, len(m.groups))
+	tiebreak := make([]int, len(m.groups))
+	for i, g := range m.groups {
+		bounds[i] = g.bound
+		tiebreak[i] = g.subs[0]
+	}
+	m.rel = BuildRelevanceIndex(bounds, tiebreak)
+}
+
 // Add registers one query and returns its engine (for Stats probes).
-// All member engines share the coordinator's snapshot graph. Queries
-// must be added before the first tuple is processed; use AddDynamic to
-// register mid-stream.
+// With sharing on, an equivalent already-registered query yields the
+// same (shared) engine. All engines share the coordinator's snapshot
+// graph. Queries must be added before the first tuple is processed;
+// use AddDynamic to register mid-stream.
 func (m *Multi) Add(a *automaton.Bound, opts ...Option) (*RAPQ, error) {
 	if m.seen > 0 {
 		return nil, fmt.Errorf("core: Multi.Add after processing started (use AddDynamic)")
@@ -85,10 +244,11 @@ func (m *Multi) Add(a *automaton.Bound, opts ...Option) (*RAPQ, error) {
 	if err := m.checkLabelSpace(a); err != nil {
 		return nil, err
 	}
-	e := NewRAPQ(a, m.win.Spec(), opts...)
-	e.AttachGraph(m.g) // share the snapshot graph
-	m.members = append(m.members, e)
-	return e, nil
+	sl := m.newSlot(a, opts...)
+	m.slots = append(m.slots, sl)
+	g := m.subscribe(sl, len(m.slots)-1)
+	m.rebuildRelevance()
+	return g.eng, nil
 }
 
 // checkLabelSpace enforces the dense-label-space discipline: the shared
@@ -99,33 +259,34 @@ func (m *Multi) Add(a *automaton.Bound, opts ...Option) (*RAPQ, error) {
 // and traversals of older members bounds-check labels beyond their
 // binding (see the ΣQ guards in rapq.go / parallel.go).
 func (m *Multi) checkLabelSpace(a *automaton.Bound) error {
-	for _, e := range m.members {
-		if e == nil {
-			continue
-		}
+	for _, g := range m.groups {
 		if m.retain {
-			if len(a.ByLabel) < e.LabelSpace() {
+			if len(a.ByLabel) < g.eng.LabelSpace() {
 				return fmt.Errorf("core: label space shrank: %d vs existing %d labels (bind new queries against the full dictionary)",
-					len(a.ByLabel), e.LabelSpace())
+					len(a.ByLabel), g.eng.LabelSpace())
 			}
 			continue
 		}
-		if len(a.ByLabel) != e.LabelSpace() {
+		if len(a.ByLabel) != g.eng.LabelSpace() {
 			return fmt.Errorf("core: label space mismatch: %d vs %d labels",
-				len(a.ByLabel), e.LabelSpace())
+				len(a.ByLabel), g.eng.LabelSpace())
 		}
 	}
 	return nil
 }
 
 // AddDynamic registers a query mid-stream. The coordinator must be in
-// retain-all mode. The new member's Δ index is bootstrapped by
-// replaying the live window content (in canonical (TS, Src, Dst,
-// Label) order) through it; matches emitted during the replay — the
-// window's current live result set — are suppressed, because they
-// correspond to results a from-start engine emitted before this point,
-// not to new stream tuples. From the next tuple on, the member emits
-// exactly what a from-start engine emits over the same suffix.
+// retain-all mode. If sharing is on and an equivalent group already
+// exists, the query simply subscribes to its fan-out: the shared engine
+// was registered from stream start, so its future emissions are exactly
+// the suffix a from-start engine would emit — no bootstrap needed.
+// Otherwise the new group's Δ index is bootstrapped by replaying the
+// live window content (in canonical (TS, Src, Dst, Label) order);
+// matches emitted during the replay — the window's current live result
+// set — are suppressed, because they correspond to results a from-start
+// engine emitted before this point, not to new stream tuples. From the
+// next tuple on, the subscriber receives exactly what a from-start
+// engine emits over the same suffix.
 func (m *Multi) AddDynamic(a *automaton.Bound, opts ...Option) (*RAPQ, error) {
 	if !m.retain {
 		return nil, fmt.Errorf("core: AddDynamic requires retain-all mode (SetRetainAll before the first tuple)")
@@ -133,44 +294,101 @@ func (m *Multi) AddDynamic(a *automaton.Bound, opts ...Option) (*RAPQ, error) {
 	if err := m.checkLabelSpace(a); err != nil {
 		return nil, err
 	}
-	e := NewRAPQ(a, m.win.Spec(), opts...)
-	real := e.sink
-	e.sink = discardSink{}
-	e.BootstrapFromGraph(m.g, m.g.Epoch())
-	e.sink = real
-	// Align the member's stream clock with the one a from-start engine
+	sl := m.newSlot(a, opts...)
+	if m.sharing {
+		for _, g := range m.groups {
+			if g.key == sl.key {
+				m.slots = append(m.slots, sl)
+				g.subs = append(g.subs, len(m.slots)-1)
+				sl.group = g
+				m.rebuildRelevance()
+				return g.eng, nil
+			}
+		}
+	}
+	g := m.newGroup(sl)
+	real := g.eng.sink
+	g.eng.sink = discardSink{}
+	g.eng.BootstrapFromGraph(m.g, m.g.Epoch())
+	g.eng.sink = real
+	// Align the engine's stream clock with the one a from-start engine
 	// would hold: the last timestamp that touched a relevant label (the
 	// window may have dropped the carrying edge; the clock survives).
 	for l, ts := range m.labelTS {
 		if a.Relevant(l) {
-			e.AlignClock(ts)
+			g.eng.AlignClock(ts)
 		}
 	}
-	m.members = append(m.members, e)
-	return e, nil
+	m.slots = append(m.slots, sl)
+	g.subs = append(g.subs, len(m.slots)-1)
+	sl.group = g
+	m.groups = append(m.groups, g)
+	m.rebuildRelevance()
+	return g.eng, nil
 }
 
-// Remove detaches a member registered with Add or AddDynamic. Its slot
-// becomes a nil tombstone so surviving members keep their registration
-// index. Returns false if the engine is not a (live) member.
+// RemoveIndex detaches the query at registration index i. Its slot
+// becomes a nil tombstone so surviving queries keep their registration
+// index; its group shrinks by one subscriber and is dropped when the
+// last subscriber leaves (splitting a shared group back apart happens
+// naturally: the remaining subscribers keep the group). Returns false
+// if i is out of range or already removed.
+func (m *Multi) RemoveIndex(i int) bool {
+	if i < 0 || i >= len(m.slots) || m.slots[i] == nil {
+		return false
+	}
+	sl := m.slots[i]
+	m.slots[i] = nil
+	g := sl.group
+	for j, s := range g.subs {
+		if s == i {
+			g.subs = append(g.subs[:j], g.subs[j+1:]...)
+			break
+		}
+	}
+	if len(g.subs) == 0 {
+		for j, cand := range m.groups {
+			if cand == g {
+				m.groups = append(m.groups[:j], m.groups[j+1:]...)
+				break
+			}
+		}
+	}
+	m.rebuildRelevance()
+	return true
+}
+
+// Remove detaches a member registered with Add or AddDynamic, by its
+// engine. With sharing on, several slots may share one engine; the
+// lowest-indexed live subscriber is removed (use RemoveIndex to pick a
+// specific one). Returns false if the engine is not a (live) member.
 func (m *Multi) Remove(target *RAPQ) bool {
 	if target == nil {
 		return false
 	}
-	for i, e := range m.members {
-		if e == target {
-			m.members[i] = nil
-			return true
+	for i, sl := range m.slots {
+		if sl != nil && sl.group.eng == target {
+			return m.RemoveIndex(i)
 		}
 	}
 	return false
 }
 
+// EngineAt returns the engine evaluating the query registered at slot
+// i (shared by every query in its group when sharing is on), or nil if
+// i is out of range or the slot was removed.
+func (m *Multi) EngineAt(i int) *RAPQ {
+	if i < 0 || i >= len(m.slots) || m.slots[i] == nil {
+		return nil
+	}
+	return m.slots[i].group.eng
+}
+
 // Len returns the number of live (non-removed) queries.
 func (m *Multi) Len() int {
 	n := 0
-	for _, e := range m.members {
-		if e != nil {
+	for _, sl := range m.slots {
+		if sl != nil {
 			n++
 		}
 	}
@@ -196,9 +414,11 @@ func (m *Multi) noteLabel(t stream.Tuple) {
 	}
 }
 
-// Process routes one tuple to every member whose alphabet contains its
-// label. Graph and window maintenance happen exactly once regardless
-// of the number of queries.
+// Process routes one tuple to every group whose alphabet contains its
+// label, most selective first (the groups are independent — they share
+// only the read-only snapshot graph — so evaluation order cannot change
+// any group's emissions). Graph and window maintenance happen exactly
+// once regardless of the number of queries.
 func (m *Multi) Process(t stream.Tuple) {
 	m.seen++
 	if t.TS > m.now {
@@ -206,20 +426,12 @@ func (m *Multi) Process(t stream.Tuple) {
 	}
 	if deadline, due := m.win.Observe(t.TS); due {
 		m.g.Expire(deadline, nil)
-		for _, e := range m.members {
-			if e != nil {
-				e.ApplyExpiry(deadline)
-			}
+		for _, g := range m.groups {
+			g.eng.ApplyExpiry(deadline)
 		}
 	}
-	relevant := false
-	for _, e := range m.members {
-		if e != nil && e.RelevantLabel(t.Label) {
-			relevant = true
-			break
-		}
-	}
-	if !relevant {
+	order := m.rel.Groups(int(t.Label))
+	if len(order) == 0 {
 		m.dropped++
 		if !m.retain {
 			return
@@ -230,39 +442,54 @@ func (m *Multi) Process(t stream.Tuple) {
 			return
 		}
 		m.noteLabel(t)
-		for _, e := range m.members {
-			if e != nil && e.RelevantLabel(t.Label) {
-				e.ApplyDelete(t)
-			}
+		if len(order) == 0 {
+			return
+		}
+		m.dispatches += int64(len(order))
+		m.relevanceSkips += int64(len(m.groups) - len(order))
+		for _, gi := range order {
+			m.groups[gi].eng.ApplyDelete(t)
 		}
 		return
 	}
 	m.g.Insert(t.Src, t.Dst, t.Label, t.TS)
 	m.noteLabel(t)
-	for _, e := range m.members {
-		if e != nil && e.RelevantLabel(t.Label) {
-			e.ApplyInsert(t)
-		}
+	if len(order) == 0 {
+		return
+	}
+	m.dispatches += int64(len(order))
+	m.relevanceSkips += int64(len(m.groups) - len(order))
+	for _, gi := range order {
+		m.groups[gi].eng.ApplyInsert(t)
 	}
 }
 
-// Stats aggregates member statistics; Edges/Vertices describe the
-// shared graph.
+// Stats aggregates statistics. Index-maintenance counters (Trees,
+// Nodes, InsertCalls, expiry costs) are counted once per group — that
+// is the point of sharing — while delivery counters (Results,
+// Invalidations) are per subscribed query: each group's engine counts
+// are multiplied by its subscriber count, matching what private
+// engines would have reported for a static query set. Edges/Vertices
+// describe the shared graph.
 func (m *Multi) Stats() Stats {
 	var s Stats
-	for _, e := range m.members {
-		if e == nil {
-			continue
-		}
-		ms := e.Stats()
+	for _, g := range m.groups {
+		ms := g.eng.Stats()
+		n := int64(len(g.subs))
 		s.Trees += ms.Trees
 		s.Nodes += ms.Nodes
-		s.Results += ms.Results
-		s.Invalidations += ms.Invalidations
+		s.Results += ms.Results * n
+		s.Invalidations += ms.Invalidations * n
 		s.InsertCalls += ms.InsertCalls
 		s.ExpiryRuns += ms.ExpiryRuns
 		s.ExpiryTime += ms.ExpiryTime
+		if len(g.subs) > 1 {
+			s.SharedGroups++
+		}
 	}
+	s.Groups = len(m.groups)
+	s.Dispatches = m.dispatches
+	s.RelevanceSkips = m.relevanceSkips
 	s.TuplesSeen = m.seen
 	s.TuplesDropped = m.dropped
 	s.Edges = m.g.NumEdges()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"time"
 
@@ -396,7 +397,12 @@ func (e *RSPQ) RestoreState(st *RSPQState) error {
 
 // MultiState is the checkpointable state of a multi-query coordinator
 // (core.Multi or shard.Engine): the shared snapshot graph, the shared
-// window clock, and each member's Δ index, in registration order.
+// window clock, and each Δ-index group's state. With query sharing,
+// Members holds one state per *group* (ordered by each group's lowest
+// live subscriber index) and MemberGroup records, for each live query
+// in registration order, which group it subscribes to. A nil
+// MemberGroup (snapshot format v3 and older) means one private group
+// per query, in order.
 type MultiState struct {
 	Now     int64
 	Seen    int64
@@ -411,6 +417,12 @@ type MultiState struct {
 	// align a dynamically registered member with a from-start engine.
 	Retain  bool
 	LabelTS []int64
+
+	// Query-sharing state (snapshot format v4): the live-query → group
+	// mapping and the relevance-filter counters.
+	MemberGroup    []int
+	Dispatches     int64
+	RelevanceSkips int64
 }
 
 // SnapshotEdges returns the graph's live edges sorted by (TS, Src, Dst,
@@ -452,41 +464,131 @@ func RestoreEdges(g *graph.Graph, edges []graph.Edge) error {
 }
 
 // SnapshotState captures the coordinator's shared state and every
-// member's Δ index.
+// group's Δ index, plus the live-query → group mapping.
 func (m *Multi) SnapshotState() *MultiState {
 	st := &MultiState{
-		Now:     m.now,
-		Seen:    m.seen,
-		Dropped: m.dropped,
-		Win:     m.win.State(),
-		Edges:   SnapshotEdges(m.g),
-		Retain:  m.retain,
-		LabelTS: append([]int64(nil), m.labelTS...),
+		Now:            m.now,
+		Seen:           m.seen,
+		Dropped:        m.dropped,
+		Win:            m.win.State(),
+		Edges:          SnapshotEdges(m.g),
+		Retain:         m.retain,
+		LabelTS:        append([]int64(nil), m.labelTS...),
+		Dispatches:     m.dispatches,
+		RelevanceSkips: m.relevanceSkips,
 	}
-	for _, e := range m.members {
-		if e != nil {
-			st.Members = append(st.Members, e.SnapshotState())
+	// Groups ordered by lowest subscriber index: a canonical order that
+	// restore can reproduce without knowing group creation history.
+	ordered := append([]*multiGroup(nil), m.groups...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].subs[0] < ordered[j].subs[0] })
+	rank := make(map[*multiGroup]int, len(ordered))
+	for gi, g := range ordered {
+		rank[g] = gi
+		st.Members = append(st.Members, g.eng.SnapshotState())
+	}
+	for _, sl := range m.slots {
+		if sl != nil {
+			st.MemberGroup = append(st.MemberGroup, rank[sl.group])
 		}
 	}
 	return st
 }
 
+// PlanGroupPartition resolves a snapshot's query→group mapping into
+// slot partitions, one per restored group, each paired with its engine
+// state. liveIdx lists the coordinator's live registration indices in
+// order; key(idx) returns the group key of the query at that index. For
+// v3 snapshots (nil mapping: one private state per query) under a
+// sharing coordinator, equal-key slots whose states are byte-equal are
+// re-deduplicated into one shared group — sound because a deterministic
+// engine's state is a pure function of its inputs, so equal states plus
+// equal automata resume identically. For v4 snapshots the mapping is
+// authoritative: the partition is restored exactly as recorded.
+func PlanGroupPartition(st *MultiState, liveIdx []int, key func(int) string, sharing bool) ([][]int, []*RAPQState, error) {
+	if st.MemberGroup == nil {
+		if len(st.Members) != len(liveIdx) {
+			return nil, nil, fmt.Errorf("core: restore: snapshot has %d members, coordinator has %d",
+				len(st.Members), len(liveIdx))
+		}
+		var parts [][]int
+		var states []*RAPQState
+		for rank, idx := range liveIdx {
+			joined := false
+			if sharing {
+				for pi := range parts {
+					if key(parts[pi][0]) == key(idx) &&
+						reflect.DeepEqual(states[pi], st.Members[rank]) {
+						parts[pi] = append(parts[pi], idx)
+						joined = true
+						break
+					}
+				}
+			}
+			if !joined {
+				parts = append(parts, []int{idx})
+				states = append(states, st.Members[rank])
+			}
+		}
+		return parts, states, nil
+	}
+	if len(st.MemberGroup) != len(liveIdx) {
+		return nil, nil, fmt.Errorf("core: restore: snapshot maps %d queries, coordinator has %d",
+			len(st.MemberGroup), len(liveIdx))
+	}
+	parts := make([][]int, len(st.Members))
+	for rank, idx := range liveIdx {
+		gi := st.MemberGroup[rank]
+		if gi < 0 || gi >= len(st.Members) {
+			return nil, nil, fmt.Errorf("core: restore: query %d maps to group %d of %d", idx, gi, len(st.Members))
+		}
+		parts[gi] = append(parts[gi], idx)
+	}
+	for gi, p := range parts {
+		if len(p) == 0 {
+			return nil, nil, fmt.Errorf("core: restore: snapshot group %d has no subscribers", gi)
+		}
+		for _, idx := range p[1:] {
+			if key(idx) != key(p[0]) {
+				return nil, nil, fmt.Errorf("core: restore: group %d spans inequivalent queries %d and %d", gi, p[0], idx)
+			}
+		}
+	}
+	return parts, st.Members, nil
+}
+
+// widestSlot returns the partition slot bound against the largest label
+// space; a group rebuilt from it steps identically for every member
+// (equal fingerprints guarantee the extra labels carry no transitions).
+func widestSlot(slots []*multiSlot, part []int) *multiSlot {
+	best := slots[part[0]]
+	for _, idx := range part[1:] {
+		if len(slots[idx].bound.ByLabel) > len(best.bound.ByLabel) {
+			best = slots[idx]
+		}
+	}
+	return best
+}
+
 // RestoreState rebuilds the coordinator from a snapshot. All queries
 // must already be registered (same number, same order as at snapshot
-// time) and no tuple processed yet.
+// time) and no tuple processed yet. The snapshot's query→group mapping
+// is authoritative: groups formed at registration are re-partitioned to
+// match it, so a v4 snapshot restores its exact sharing layout and a v3
+// snapshot restores private groups (re-deduplicated when sharing is on
+// and the states are identical).
 func (m *Multi) RestoreState(st *MultiState) error {
 	if m.seen != 0 {
 		return fmt.Errorf("core: Multi.RestoreState after processing started")
 	}
-	live := 0
-	for _, e := range m.members {
-		if e != nil {
-			live++
+	var liveIdx []int
+	for i, sl := range m.slots {
+		if sl != nil {
+			liveIdx = append(liveIdx, i)
 		}
 	}
-	if len(st.Members) != live {
-		return fmt.Errorf("core: restore: snapshot has %d members, coordinator has %d",
-			len(st.Members), live)
+	parts, states, err := PlanGroupPartition(st, liveIdx, func(i int) string { return m.slots[i].key }, m.sharing)
+	if err != nil {
+		return err
 	}
 	if err := RestoreEdges(m.g, st.Edges); err != nil {
 		return err
@@ -497,15 +599,31 @@ func (m *Multi) RestoreState(st *MultiState) error {
 	m.win.SetState(st.Win)
 	m.retain = st.Retain
 	m.labelTS = append([]int64(nil), st.LabelTS...)
-	i := 0
-	for _, e := range m.members {
-		if e == nil {
-			continue
-		}
-		if err := e.RestoreState(st.Members[i]); err != nil {
-			return fmt.Errorf("core: restore member %d: %w", i, err)
-		}
-		i++
+	m.dispatches = st.Dispatches
+	m.relevanceSkips = st.RelevanceSkips
+	// Reuse registration-formed groups whose subscriber sets already
+	// match a snapshot partition (the common path — engine pointers held
+	// by callers stay valid); re-form the rest.
+	existing := make(map[string]*multiGroup, len(m.groups))
+	for _, g := range m.groups {
+		existing[fmt.Sprint(g.subs)] = g
 	}
+	groups := make([]*multiGroup, len(parts))
+	for gi, part := range parts {
+		g, ok := existing[fmt.Sprint(part)]
+		if !ok {
+			g = m.newGroup(widestSlot(m.slots, part))
+			g.subs = append([]int(nil), part...)
+			for _, idx := range part {
+				m.slots[idx].group = g
+			}
+		}
+		if err := g.eng.RestoreState(states[gi]); err != nil {
+			return fmt.Errorf("core: restore group %d: %w", gi, err)
+		}
+		groups[gi] = g
+	}
+	m.groups = groups
+	m.rebuildRelevance()
 	return nil
 }

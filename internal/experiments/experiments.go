@@ -72,6 +72,7 @@ func All() []Runner {
 		{"fig11", "Speedup over the per-tuple rescan baseline (Figure 11)", Fig11},
 		{"ablation", "Design-choice ablations: inverted index, tree parallelism, multi-query sharing", Ablation},
 		{"multiq", "Sharded concurrent multi-query engine: shard-count sweep (§7 + internal/shard)", MultiQ},
+		{"multiq-shared", "Multi-query sharing: canonical automaton dedup + relevance scheduling, shared vs private per shard count", MultiQShared},
 		{"pipeline", "Pipelined sub-batches: barriered (depth 1) vs pipelined (depth ≥ 2) per shard count", Pipeline},
 		{"churn", "Delete/re-insert churn: support-counting deletion overhead per shard count", Churn},
 		{"writers", "Multi-writer epoch construction: sequential vs stripe-parallel apply per shard count", Writers},

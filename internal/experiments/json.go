@@ -24,7 +24,11 @@ type JSONReport struct {
 // JSONCapable reports whether the experiment has a structured-data
 // driver (only those can be emitted with -json).
 func JSONCapable(id string) bool {
-	return id == "multiq" || id == "pipeline" || id == "churn" || id == "writers"
+	switch id {
+	case "multiq", "multiq-shared", "pipeline", "churn", "writers":
+		return true
+	}
+	return false
 }
 
 // WriteJSON runs the experiment's data driver and writes the report to
@@ -42,6 +46,12 @@ func WriteJSON(cfg Config, id string, w io.Writer) error {
 	switch id {
 	case "multiq":
 		rows, err := MultiQData(cfg)
+		if err != nil {
+			return err
+		}
+		report.Rows = rows
+	case "multiq-shared":
+		rows, err := MultiQSharedData(cfg)
 		if err != nil {
 			return err
 		}
@@ -65,7 +75,7 @@ func WriteJSON(cfg Config, id string, w io.Writer) error {
 		}
 		report.Rows = rows
 	default:
-		return fmt.Errorf("experiments: %q has no JSON driver (supported: multiq, pipeline, churn, writers)", id)
+		return fmt.Errorf("experiments: %q has no JSON driver (supported: multiq, multiq-shared, pipeline, churn, writers)", id)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

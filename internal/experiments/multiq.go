@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"streamrpq/internal/core"
 	"streamrpq/internal/datasets"
 	"streamrpq/internal/shard"
 	"streamrpq/internal/window"
@@ -27,11 +28,15 @@ type MultiQRow struct {
 
 // ShardLoad is the per-shard slice of a MultiQRow.
 type ShardLoad struct {
-	Shard       int   `json:"shard"`
-	InsertCalls int64 `json:"insert_calls"`
-	Results     int64 `json:"results"`
-	Trees       int   `json:"trees"`
-	Nodes       int   `json:"nodes"`
+	Shard          int   `json:"shard"`
+	InsertCalls    int64 `json:"insert_calls"`
+	Results        int64 `json:"results"`
+	Trees          int   `json:"trees"`
+	Nodes          int   `json:"nodes"`
+	Groups         int   `json:"groups"`
+	SharedGroups   int   `json:"shared_groups"`
+	Dispatches     int64 `json:"dispatches"`
+	RelevanceSkips int64 `json:"relevance_skips"`
 }
 
 // sweepWorkload is the shared measurement harness of the shard-engine
@@ -62,6 +67,7 @@ type sweepRun struct {
 	NsPerTuple float64
 	Balance    string
 	PerShard   []ShardLoad
+	Stats      core.Stats // engine-aggregate counters after the run
 }
 
 // measure runs the whole workload through one engine configuration.
@@ -91,6 +97,7 @@ func (w sweepWorkload) measure(opts ...shard.Option) (sweepRun, error) {
 		NsPerTuple: float64(elapsed.Nanoseconds()) / float64(len(w.d.Tuples)),
 		Balance:    shardBalance(eng),
 		PerShard:   shardLoads(eng),
+		Stats:      eng.Stats(),
 	}, nil
 }
 
@@ -164,11 +171,15 @@ func shardLoads(eng *shard.Engine) []ShardLoad {
 	out := make([]ShardLoad, len(ss))
 	for i, st := range ss {
 		out[i] = ShardLoad{
-			Shard:       i,
-			InsertCalls: st.InsertCalls,
-			Results:     st.Results,
-			Trees:       st.Trees,
-			Nodes:       st.Nodes,
+			Shard:          i,
+			InsertCalls:    st.InsertCalls,
+			Results:        st.Results,
+			Trees:          st.Trees,
+			Nodes:          st.Nodes,
+			Groups:         st.Groups,
+			SharedGroups:   st.SharedGroups,
+			Dispatches:     st.Dispatches,
+			RelevanceSkips: st.RelevanceSkips,
 		}
 	}
 	return out

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"streamrpq/internal/shard"
+)
+
+// MultiQSharedRow is one (sharing, shard-count) cell of the multi-query
+// sharing grid: the doubled SO workload contains every query twice, so
+// with sharing on the engine collapses the duplicate automata into half
+// as many Δ-index groups while still serving every registered query's
+// result stream.
+type MultiQSharedRow struct {
+	Sharing        bool          `json:"sharing"`
+	Shards         int           `json:"shards"`
+	Queries        int           `json:"queries"`
+	Groups         int           `json:"groups"`
+	SharedGroups   int           `json:"shared_groups"`
+	Tuples         int           `json:"tuples"`
+	Throughput     float64       `json:"tuples_per_sec"`
+	NsPerTuple     float64       `json:"ns_per_tuple"`
+	Elapsed        time.Duration `json:"elapsed_ns"`
+	InsertCalls    int64         `json:"insert_calls"`
+	Dispatches     int64         `json:"dispatches"`
+	RelevanceSkips int64         `json:"relevance_skips"`
+	Results        int64         `json:"results"`
+	Invalidations  int64         `json:"invalidations"`
+	Trees          int           `json:"trees"`
+	PerShard       []ShardLoad   `json:"shard_stats"`
+}
+
+// MultiQSharedData measures multi-query sharing (canonical automaton
+// dedup + label-relevance scheduling) against the all-private layout on
+// the same workload as the multiq sweep: for each shard count, one run
+// with sharing off and one with sharing on. Sharing must not change one
+// observable byte, so the driver cross-checks that the delivered result
+// and invalidation counts agree between the two arms of every shard
+// count; what changes is the index maintenance work (insert_calls,
+// trees) and the dispatch volume the relevance filter admits.
+func MultiQSharedData(cfg Config) ([]MultiQSharedRow, error) {
+	w := newSweepWorkload(cfg)
+	shardCounts := cfg.ShardCounts
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 8}
+	}
+	var rows []MultiQSharedRow
+	for _, shards := range shardCounts {
+		var perArm [2]MultiQSharedRow
+		for ai, sharing := range []bool{false, true} {
+			run, err := w.measure(shard.WithShards(shards), shard.WithSharing(sharing))
+			if err != nil {
+				return nil, err
+			}
+			st := run.Stats
+			perArm[ai] = MultiQSharedRow{
+				Sharing:        sharing,
+				Shards:         shards,
+				Queries:        len(w.queries),
+				Groups:         st.Groups,
+				SharedGroups:   st.SharedGroups,
+				Tuples:         len(w.d.Tuples),
+				Throughput:     run.Throughput,
+				NsPerTuple:     run.NsPerTuple,
+				Elapsed:        run.Elapsed,
+				InsertCalls:    st.InsertCalls,
+				Dispatches:     st.Dispatches,
+				RelevanceSkips: st.RelevanceSkips,
+				Results:        st.Results,
+				Invalidations:  st.Invalidations,
+				Trees:          st.Trees,
+				PerShard:       run.PerShard,
+			}
+		}
+		if perArm[0].Results != perArm[1].Results || perArm[0].Invalidations != perArm[1].Invalidations {
+			return nil, fmt.Errorf("experiments: multiq-shared: sharing changed the observable stream at %d shards: private %d/%d vs shared %d/%d results/invalidations",
+				shards, perArm[0].Results, perArm[0].Invalidations, perArm[1].Results, perArm[1].Invalidations)
+		}
+		rows = append(rows, perArm[0], perArm[1])
+	}
+	return rows, nil
+}
+
+// MultiQShared prints the sharing-vs-private grid.
+func MultiQShared(cfg Config) error {
+	rows, err := MultiQSharedData(cfg)
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, fmt.Sprintf(
+		"Multi-query sharing: canonical dedup + relevance scheduling on SO (%d cores available)",
+		runtime.GOMAXPROCS(0)))
+	var tab [][]string
+	for _, r := range rows {
+		mode := "private"
+		if r.Sharing {
+			mode = "shared"
+		}
+		tab = append(tab, []string{
+			mode,
+			fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%d", r.Queries),
+			fmt.Sprintf("%d (%d shared)", r.Groups, r.SharedGroups),
+			eps(r.Throughput),
+			fmt.Sprintf("%d", r.InsertCalls),
+			fmt.Sprintf("%d", r.Dispatches),
+			fmt.Sprintf("%d", r.RelevanceSkips),
+			fmt.Sprintf("%d", r.Results),
+		})
+	}
+	table(cfg.Out,
+		[]string{"mode", "shards", "queries", "groups", "tuples/s", "insert-calls", "dispatches", "relevance-skips", "results"},
+		tab)
+	return nil
+}

@@ -50,6 +50,9 @@ func testSnapshot(gen uint64) *Snapshot {
 				},
 				{Now: int64(1000 + gen), Win: window.State{Boundary: 995, Started: true}},
 			},
+			MemberGroup:    []int{0, 1},
+			Dispatches:     42,
+			RelevanceSkips: 17,
 		},
 	}
 }

@@ -33,8 +33,17 @@ const (
 	// predate canonical deletions and are rejected. Version 3 added the
 	// retain-all flag and the per-label stream clocks that dynamic query
 	// registration needs (core.MultiState.Retain/LabelTS); older
-	// versions are rejected, as before.
-	snapVersion = 3
+	// versions are rejected, as before. Version 4 added multi-query
+	// sharing: the facade sharing flag, the query→group mapping
+	// (core.MultiState.MemberGroup — Members then holds one Δ state per
+	// GROUP, not per query), and the dispatch/relevance-skip counters.
+	// Version-3 files are still read: their nil mapping restores one
+	// private group per query, which the coordinator re-deduplicates
+	// when sharing is on (see core.PlanGroupPartition).
+	snapVersion = 4
+
+	// snapVersionMin is the oldest snapshot version recovery accepts.
+	snapVersionMin = 3
 )
 
 // Snapshot is the full checkpointable state of a facade evaluator: the
@@ -47,6 +56,7 @@ type Snapshot struct {
 	Spec           window.Spec
 	Sharded        bool
 	Shards         int
+	Sharing        bool     // multi-query sharing enabled (v4+; v3 files read as true, the current default)
 	Queries        []string // source expressions, registration order
 	Vertices       []string // vertex dictionary, id order
 	Labels         []string // label dictionary, id order
@@ -274,9 +284,22 @@ func encodeMultiState(e *encoder, st *core.MultiState) {
 	for _, ts := range st.LabelTS {
 		e.i64(ts)
 	}
+	// v4: the query→group mapping (rank of live query → index into
+	// Members) plus the coordinator's dispatch counters.
+	e.u64(uint64(len(st.MemberGroup)))
+	for _, g := range st.MemberGroup {
+		e.u64(uint64(g))
+	}
+	e.i64(st.Dispatches)
+	e.i64(st.RelevanceSkips)
 }
 
-func decodeMultiState(d *decoder) *core.MultiState {
+// decodeMultiState parses a coordinator state section; version selects
+// between the v3 layout (one Δ state per query, no group mapping) and
+// the v4 layout (one Δ state per group + MemberGroup + dispatch
+// counters). A v3 state keeps MemberGroup nil, the marker
+// core.PlanGroupPartition turns into one private group per query.
+func decodeMultiState(d *decoder, version uint8) *core.MultiState {
 	st := &core.MultiState{
 		Now:     d.i64(),
 		Seen:    d.i64(),
@@ -292,6 +315,15 @@ func decodeMultiState(d *decoder) *core.MultiState {
 	nlabels := d.count(1)
 	for i := 0; i < nlabels && d.err == nil; i++ {
 		st.LabelTS = append(st.LabelTS, d.i64())
+	}
+	if version >= 4 {
+		nmap := d.count(1)
+		st.MemberGroup = make([]int, 0, nmap)
+		for i := 0; i < nmap && d.err == nil; i++ {
+			st.MemberGroup = append(st.MemberGroup, int(d.u64()))
+		}
+		st.Dispatches = d.i64()
+		st.RelevanceSkips = d.i64()
 	}
 	return st
 }
@@ -326,6 +358,7 @@ func EncodeSnapshot(s *Snapshot) []byte {
 	e.i64(s.Spec.Slide)
 	e.bool(s.Sharded)
 	e.u64(uint64(s.Shards))
+	e.bool(s.Sharing)
 	e.strs(s.Queries)
 	e.strs(s.Vertices)
 	e.strs(s.Labels)
@@ -345,7 +378,8 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 		return nil, err
 	}
 	d := &decoder{buf: body, off: len(snapMagic)}
-	if v := d.byte(); v != snapVersion {
+	v := d.byte()
+	if v < snapVersionMin || v > snapVersion {
 		return nil, fmt.Errorf("persist: unsupported snapshot version %d", v)
 	}
 	s := &Snapshot{
@@ -354,6 +388,14 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	}
 	s.Sharded = d.bool()
 	s.Shards = int(d.u64())
+	if v >= 4 {
+		s.Sharing = d.bool()
+	} else {
+		// Pre-sharing snapshots restore under the current default; the
+		// private per-query Δ states they carry are re-deduplicated at
+		// restore (core.PlanGroupPartition).
+		s.Sharing = true
+	}
 	s.Queries = d.strs()
 	s.Vertices = d.strs()
 	s.Labels = d.strs()
@@ -361,7 +403,7 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	s.Started = d.bool()
 	s.AppliedTuples = d.i64()
 	s.AppliedBatches = d.u64()
-	s.State = decodeMultiState(d)
+	s.State = decodeMultiState(d, v)
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -439,7 +481,7 @@ func snapshotFileGen(path string) (uint64, error) {
 		return 0, fmt.Errorf("%w (%s)", err, path)
 	}
 	d := &decoder{buf: body, off: len(snapMagic)}
-	if v := d.byte(); v != snapVersion {
+	if v := d.byte(); v < snapVersionMin || v > snapVersion {
 		return 0, fmt.Errorf("persist: %s: unsupported snapshot version %d", path, v)
 	}
 	g := d.u64()

@@ -375,6 +375,13 @@ type Metrics struct {
 	Queries     int
 	Edges       int
 	Results     int64
+
+	// Multi-query sharing: group layout and the effect of the per-label
+	// relevance filter (see core.Stats).
+	Groups         int
+	SharedGroups   int
+	Dispatches     int64
+	RelevanceSkips int64
 }
 
 // Snapshot returns the current metrics.
@@ -391,6 +398,11 @@ func (b *Broker) Snapshot() Metrics {
 		Queries:     b.ev.NumQueries(),
 		Edges:       st.Edges,
 		Results:     st.Results,
+
+		Groups:         st.Groups,
+		SharedGroups:   st.SharedGroups,
+		Dispatches:     st.Dispatches,
+		RelevanceSkips: st.RelevanceSkips,
 	}
 }
 

@@ -268,6 +268,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "rpq_queries %d\n", m.Queries)
 	fmt.Fprintf(w, "rpq_window_edges %d\n", m.Edges)
 	fmt.Fprintf(w, "rpq_results_total %d\n", m.Results)
+	fmt.Fprintf(w, "rpq_groups %d\n", m.Groups)
+	fmt.Fprintf(w, "rpq_shared_groups %d\n", m.SharedGroups)
+	fmt.Fprintf(w, "rpq_dispatches_total %d\n", m.Dispatches)
+	fmt.Fprintf(w, "rpq_relevance_skips_total %d\n", m.RelevanceSkips)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -330,12 +330,14 @@ func TestStickyWorkerError(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Wrap a second member with the fault injector, on the other shard.
-	w, err := s.precheck(bind(t, "a+", "a", "b"))
-	if err != nil {
+	fa := bind(t, "a+", "a", "b")
+	if err := s.precheck(fa); err != nil {
 		t.Fatal(err)
 	}
-	inner := core.NewRAPQ(bind(t, "a+", "a", "b"), s.spec, core.WithSink(captureSink{w}))
-	s.admit(w, &faultyMember{RAPQ: inner, failAt: 30}, nil)
+	mb := s.newMember(fa, nil, fa.Fingerprint())
+	w := s.workers[mb.index%len(s.workers)]
+	inner := core.NewRAPQ(fa, s.spec, core.WithSink(captureSink{w}))
+	s.admit(w, &faultyMember{RAPQ: inner, failAt: 30}, mb)
 
 	tuples := hazardTuples(rand.New(rand.NewSource(3)), 400)
 	var firstErr error

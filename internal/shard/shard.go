@@ -121,6 +121,7 @@ type config struct {
 	queue   int
 	depth   int
 	writers int
+	sharing bool
 }
 
 // Option configures an Engine.
@@ -147,6 +148,16 @@ func WithWriters(n int) Option { return func(c *config) { c.writers = n } }
 // depth.
 func WithQueueDepth(n int) Option { return func(c *config) { c.queue = n } }
 
+// WithSharing toggles shared-group evaluation (default on): queries
+// whose bound automata are structurally identical (equal
+// automaton.Bound.Fingerprint) subscribe to ONE shared Δ-index group
+// whose engine runs once per tuple, with emissions fanned out to every
+// subscriber. The engine is deterministic and the merge order is
+// canonical, so each subscriber's result stream is byte-identical to
+// what a private engine would produce; only the per-tuple work changes.
+// Off restores one private group per query.
+func WithSharing(on bool) Option { return func(c *config) { c.sharing = on } }
+
 // WithPipelineDepth bounds how many sub-batches may be in flight —
 // dispatched to the shards but not yet collected — at once (default 2;
 // n <= 0 is an error). Depth 1 reproduces the fully barriered
@@ -170,9 +181,16 @@ type Engine struct {
 	depth   int
 	workers []*worker
 	members []*member
+	groups  []*group // active Δ-index groups, creation order
+	sharing bool     // equivalent queries share one group (WithSharing)
 	// relevant[l] reports whether label l is in any member's alphabet;
 	// tuples outside every alphabet skip the graph and the shards.
 	relevant []bool
+
+	// Relevance-filter counters restored from a snapshot; live counts
+	// accumulate per worker and are added on top (see Stats).
+	dispatchBase int64
+	skipBase     int64
 
 	now     int64
 	seen    int64
@@ -202,11 +220,13 @@ type Engine struct {
 	results  []Result
 }
 
-// pendingMember is a dynamically registered query between AddDynamic
+// pendingMember is a dynamically registered group between AddDynamic
 // and activation: its Δ index is being bootstrapped from the window
 // content at epoch (under a reader lease) on a background goroutine.
+// Further equivalent AddDynamic calls in the same inter-batch gap
+// subscribe to the pending group rather than bootstrapping again.
 type pendingMember struct {
-	mb    *member
+	g     *group
 	epoch graph.Epoch   // bootstrap epoch; leased until activation
 	done  chan struct{} // closed when the background replay finishes
 	err   error         // recovered bootstrap panic, if any
@@ -225,11 +245,28 @@ type inflightSub struct {
 	steps []step
 }
 
-// member is one registered query.
+// member is one registered query: its bound automaton, its user sink,
+// and the shared Δ-index group it subscribes to. Several members share
+// one group when sharing is on and their automata are equivalent.
 type member struct {
+	bound *automaton.Bound
+	sink  core.Sink // user sink; called by the coordinator post-merge
+	index int
+	key   string // group key (automaton fingerprint, or a private nonce)
+	group *group
+}
+
+// group owns one member engine, evaluated once per tuple for all its
+// subscribers. subs holds the subscriber registration indices in
+// ascending order — the fan-out stamps one Result per subscriber, and
+// the canonical merge restores per-query order afterwards. The group is
+// pinned to one worker shard (chosen by its first subscriber's index).
+type group struct {
 	engine core.MemberEngine
-	sink   core.Sink // user sink; called by the coordinator post-merge
-	index  int
+	bound  *automaton.Bound
+	key    string
+	subs   []int
+	w      *worker
 }
 
 // step is one unit of work inside a sub-batch, shipped to every shard.
@@ -255,29 +292,54 @@ type reply struct {
 	err     error
 }
 
-// worker owns the queries of one shard and applies every sub-batch to
-// them on its own goroutine.
+// worker owns the groups of one shard and applies every sub-batch to
+// them on its own goroutine. rel is the shard's per-label dispatch
+// index over its own groups (positions into w.groups), rebuilt by the
+// coordinator on membership changes between batches; dispatches /
+// relevanceSkips count the (step, group) pairs it admitted and avoided.
 type worker struct {
-	id      int
-	members []*member
-	in      chan job
-	out     chan reply
+	id     int
+	groups []*group
+	rel    core.RelevanceIndex
+	in     chan job
+	out    chan reply
 
-	buf      []Result
-	curTuple int
-	curQuery int
+	buf            []Result
+	curTuple       int
+	curGroup       *group
+	dispatches     int64
+	relevanceSkips int64
 }
 
-// captureSink collects a member engine's emissions into its worker's
-// buffer, tagged with the current tuple and query for the merge.
+// rebuild recomputes the shard's relevance index. Coordinator-side,
+// between batches only (the worker goroutine reads rel while applying).
+func (w *worker) rebuild() {
+	bounds := make([]*automaton.Bound, len(w.groups))
+	tiebreak := make([]int, len(w.groups))
+	for i, g := range w.groups {
+		bounds[i] = g.bound
+		tiebreak[i] = g.subs[0]
+	}
+	w.rel = core.BuildRelevanceIndex(bounds, tiebreak)
+}
+
+// captureSink collects a group engine's emissions into its worker's
+// buffer, tagged with the current tuple and fanned out to every
+// subscriber of the current group — one Result per subscribed query,
+// exactly what private engines would have appended. Buffer order within
+// a sub-batch is irrelevant: the merge sorts canonically.
 type captureSink struct{ w *worker }
 
 func (c captureSink) OnMatch(m core.Match) {
-	c.w.buf = append(c.w.buf, Result{Tuple: c.w.curTuple, Query: c.w.curQuery, Match: m})
+	for _, q := range c.w.curGroup.subs {
+		c.w.buf = append(c.w.buf, Result{Tuple: c.w.curTuple, Query: q, Match: m})
+	}
 }
 
 func (c captureSink) OnInvalidate(m core.Match) {
-	c.w.buf = append(c.w.buf, Result{Tuple: c.w.curTuple, Query: c.w.curQuery, Match: m, Invalidated: true})
+	for _, q := range c.w.curGroup.subs {
+		c.w.buf = append(c.w.buf, Result{Tuple: c.w.curTuple, Query: q, Match: m, Invalidated: true})
+	}
 }
 
 // New creates a sharded engine with the shared window specification.
@@ -285,7 +347,7 @@ func New(spec window.Spec, opts ...Option) (*Engine, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	cfg := config{shards: 1, queue: 2, depth: 2, writers: 1}
+	cfg := config{shards: 1, queue: 2, depth: 2, writers: 1, sharing: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -309,6 +371,7 @@ func New(spec window.Spec, opts ...Option) (*Engine, error) {
 		win:     window.NewManager(spec),
 		depth:   cfg.depth,
 		workers: make([]*worker, cfg.shards),
+		sharing: cfg.sharing,
 	}
 	queue := max(cfg.queue, cfg.depth)
 	for i := range s.workers {
@@ -332,6 +395,9 @@ func (s *Engine) PipelineDepth() int { return s.depth }
 
 // NumWriters returns the configured epoch-construction writer count.
 func (s *Engine) NumWriters() int { return s.app.Writers() }
+
+// Sharing reports whether equivalent queries share one Δ-index group.
+func (s *Engine) Sharing() bool { return s.sharing }
 
 // Len returns the number of live (non-removed) queries.
 func (s *Engine) Len() int {
@@ -370,14 +436,20 @@ func (s *Engine) Err() error { return s.err }
 
 // Add registers one RAPQ query and returns its engine (for Stats
 // probes). Queries must be added before the first batch; sink may be
-// nil. The query is assigned to shard index Len() mod NumShards().
+// nil. With sharing on, a query equivalent to an already-registered one
+// subscribes to the existing group and returns the shared engine; a new
+// group is assigned to shard index Len() mod NumShards().
 func (s *Engine) Add(a *automaton.Bound, sink core.Sink) (*core.RAPQ, error) {
-	w, err := s.precheck(a)
-	if err != nil {
+	if err := s.precheck(a); err != nil {
 		return nil, err
 	}
+	mb := s.newMember(a, sink, a.Fingerprint())
+	if g := s.joinGroup(mb); g != nil {
+		return g.engine.(*core.RAPQ), nil
+	}
+	w := s.workers[mb.index%len(s.workers)]
 	e := core.NewRAPQ(a, s.spec, core.WithSink(captureSink{w}))
-	s.admit(w, e, sink)
+	s.admit(w, e, mb)
 	return e, nil
 }
 
@@ -385,27 +457,51 @@ func (s *Engine) Add(a *automaton.Bound, sink core.Sink) (*core.RAPQ, error) {
 // parallelism (core.ParallelRAPQ): per-tuple tree updates of this
 // member fan out over its own worker pool, composing with the
 // inter-query sharding (neither layer takes a whole-engine lock).
+// Parallel members never share a group (their key is a private nonce):
+// the worker-pool configuration is per query.
 func (s *Engine) AddParallel(a *automaton.Bound, sink core.Sink, workers int) (*core.ParallelRAPQ, error) {
-	w, err := s.precheck(a)
-	if err != nil {
+	if err := s.precheck(a); err != nil {
 		return nil, err
 	}
+	mb := s.newMember(a, sink, fmt.Sprintf("#parallel%d", len(s.members)))
+	w := s.workers[mb.index%len(s.workers)]
 	e := core.NewParallelRAPQ(a, s.spec, workers, core.WithSink(captureSink{w}))
-	s.admit(w, e, sink)
+	s.admit(w, e, mb)
 	return e, nil
 }
 
-func (s *Engine) precheck(a *automaton.Bound) (*worker, error) {
+func (s *Engine) precheck(a *automaton.Bound) error {
 	if s.closed {
-		return nil, fmt.Errorf("shard: Add on closed engine")
+		return fmt.Errorf("shard: Add on closed engine")
 	}
 	if s.started {
-		return nil, fmt.Errorf("shard: Add after processing started (use AddDynamic)")
+		return fmt.Errorf("shard: Add after processing started (use AddDynamic)")
 	}
-	if err := s.checkLabelSpace(a); err != nil {
-		return nil, err
+	return s.checkLabelSpace(a)
+}
+
+// newMember appends a member slot (without a group yet).
+func (s *Engine) newMember(a *automaton.Bound, sink core.Sink, key string) *member {
+	mb := &member{bound: a, sink: sink, index: len(s.members), key: key}
+	s.members = append(s.members, mb)
+	return mb
+}
+
+// joinGroup subscribes the member to an existing active group with the
+// same key, if sharing is on. Returns nil when a new group is needed.
+func (s *Engine) joinGroup(mb *member) *group {
+	if !s.sharing {
+		return nil
 	}
-	return s.workers[len(s.members)%len(s.workers)], nil
+	for _, g := range s.groups {
+		if g.key == mb.key {
+			g.subs = append(g.subs, mb.index)
+			mb.group = g
+			s.noteRelevant(mb.bound)
+			return g
+		}
+	}
+	return nil
 }
 
 // checkLabelSpace enforces the dense-label-space discipline. Static
@@ -418,7 +514,7 @@ func (s *Engine) checkLabelSpace(a *automaton.Bound) error {
 		if mb == nil {
 			continue
 		}
-		sp := mb.engine.LabelSpace()
+		sp := len(mb.bound.ByLabel)
 		if s.retain {
 			if len(a.ByLabel) < sp {
 				return fmt.Errorf("shard: label space shrank: %d vs existing %d labels (bind new queries against the full dictionary)",
@@ -434,22 +530,25 @@ func (s *Engine) checkLabelSpace(a *automaton.Bound) error {
 	return nil
 }
 
-func (s *Engine) admit(w *worker, e core.MemberEngine, sink core.Sink) {
+// admit activates a new group for the member on worker w.
+func (s *Engine) admit(w *worker, e core.MemberEngine, mb *member) {
 	e.AttachGraph(s.g)
-	mb := &member{engine: e, sink: sink, index: len(s.members)}
-	s.members = append(s.members, mb)
-	w.members = append(w.members, mb)
-	s.noteRelevant(e)
+	g := &group{engine: e, bound: mb.bound, key: mb.key, subs: []int{mb.index}, w: w}
+	mb.group = g
+	s.groups = append(s.groups, g)
+	w.groups = append(w.groups, g)
+	w.rebuild()
+	s.noteRelevant(mb.bound)
 }
 
 // noteRelevant folds one member's alphabet into the union relevance
 // table that steers step creation.
-func (s *Engine) noteRelevant(e core.MemberEngine) {
-	for len(s.relevant) < e.LabelSpace() {
+func (s *Engine) noteRelevant(a *automaton.Bound) {
+	for len(s.relevant) < len(a.ByLabel) {
 		s.relevant = append(s.relevant, false)
 	}
 	for l := range s.relevant {
-		if e.RelevantLabel(stream.LabelID(l)) {
+		if a.Relevant(l) {
 			s.relevant[l] = true
 		}
 	}
@@ -457,16 +556,20 @@ func (s *Engine) noteRelevant(e core.MemberEngine) {
 
 // AddDynamic registers one RAPQ query mid-stream and returns its
 // registration index (the stable id results carry). The engine must be
-// in retain-all mode. The new member's Δ index is bootstrapped from
-// the window content at the current epoch on a background goroutine —
-// ingest is not paused — under a reader lease that keeps every later
-// version reconstructible. Activation is deterministic: at the end of
-// the next ProcessBatch (its sub-batches are captured and replayed to
-// the member, at their original epochs, after the bootstrap joins), so
-// from its registration batch onward the member emits exactly what a
-// from-start engine emits over the same suffix. Matches emitted during
-// the bootstrap replay itself — the window's current live result set —
-// are suppressed: a from-start engine emitted them before this point.
+// in retain-all mode. With sharing on, a query equivalent to an active
+// group simply subscribes to its fan-out — the shared engine was
+// registered from stream start, so its future emissions are exactly
+// the suffix a from-start engine would emit; no bootstrap, no catch-up.
+// Otherwise the new group's Δ index is bootstrapped from the window
+// content at the current epoch on a background goroutine — ingest is
+// not paused — under a reader lease that keeps every later version
+// reconstructible. Activation is deterministic: at the end of the next
+// ProcessBatch (its sub-batches are captured and replayed to the group,
+// at their original epochs, after the bootstrap joins), so from its
+// registration batch onward the member emits exactly what a from-start
+// engine emits over the same suffix. Matches emitted during the
+// bootstrap replay itself — the window's current live result set — are
+// suppressed: a from-start engine emitted them before this point.
 func (s *Engine) AddDynamic(a *automaton.Bound, sink core.Sink) (int, error) {
 	if s.closed {
 		return 0, fmt.Errorf("shard: AddDynamic on closed engine")
@@ -480,14 +583,22 @@ func (s *Engine) AddDynamic(a *automaton.Bound, sink core.Sink) (int, error) {
 	if err := s.checkLabelSpace(a); err != nil {
 		return 0, err
 	}
+	mb := s.newMember(a, sink, a.Fingerprint())
+	if g := mb.joinPending(s); g != nil {
+		return mb.index, nil
+	}
+	if g := s.joinGroup(mb); g != nil {
+		return mb.index, nil
+	}
 	e := core.NewRAPQ(a, s.spec) // default discard sink while bootstrapping
 	e.AttachGraph(s.g)
-	mb := &member{engine: e, sink: sink, index: len(s.members)}
-	s.members = append(s.members, mb)
+	w := s.workers[mb.index%len(s.workers)]
+	g := &group{engine: e, bound: a, key: mb.key, subs: []int{mb.index}, w: w}
+	mb.group = g
 	// The union relevance table includes the new alphabet immediately,
 	// so every step the member needs is created (and captured for its
 	// catch-up) from this point on.
-	s.noteRelevant(e)
+	s.noteRelevant(a)
 	// The stream clock a from-start engine would hold now: the last
 	// timestamp that touched a relevant label, which may be newer than
 	// any surviving window edge (see labelTS).
@@ -499,7 +610,7 @@ func (s *Engine) AddDynamic(a *automaton.Bound, sink core.Sink) (int, error) {
 	}
 	ep := s.g.Epoch()
 	s.g.AcquireEpoch(ep)
-	p := &pendingMember{mb: mb, epoch: ep, done: make(chan struct{})}
+	p := &pendingMember{g: g, epoch: ep, done: make(chan struct{})}
 	s.pending = append(s.pending, p)
 	go func() {
 		defer close(p.done)
@@ -512,6 +623,24 @@ func (s *Engine) AddDynamic(a *automaton.Bound, sink core.Sink) (int, error) {
 		e.AlignClock(align)
 	}()
 	return mb.index, nil
+}
+
+// joinPending subscribes the member to a pending (not yet activated)
+// group with the same key, if sharing is on: both subscribers then
+// activate together at the next batch boundary, catch-up included.
+func (mb *member) joinPending(s *Engine) *group {
+	if !s.sharing {
+		return nil
+	}
+	for _, p := range s.pending {
+		if p.g.key == mb.key {
+			p.g.subs = append(p.g.subs, mb.index)
+			mb.group = p.g
+			s.noteRelevant(mb.bound)
+			return p.g
+		}
+	}
+	return nil
 }
 
 // RemoveDynamic detaches the query with the given registration index.
@@ -531,16 +660,33 @@ func (s *Engine) RemoveDynamic(index int) error {
 	}
 	mb := s.members[index]
 	s.members[index] = nil
-	// Safe between batches: the worker goroutine only touches its member
+	// Safe between batches: the worker goroutine only touches its group
 	// list while applying a job, and the next job send happens-after
 	// this mutation.
-	w := s.workers[index%len(s.workers)]
-	for i, wmb := range w.members {
-		if wmb == mb {
-			w.members = append(w.members[:i], w.members[i+1:]...)
+	g := mb.group
+	for i, q := range g.subs {
+		if q == index {
+			g.subs = append(g.subs[:i], g.subs[i+1:]...)
 			break
 		}
 	}
+	if len(g.subs) > 0 {
+		g.w.rebuild() // the dispatch tie-break (first subscriber) may change
+		return nil
+	}
+	for i, cand := range s.groups {
+		if cand == g {
+			s.groups = append(s.groups[:i], s.groups[i+1:]...)
+			break
+		}
+	}
+	for i, cand := range g.w.groups {
+		if cand == g {
+			g.w.groups = append(g.w.groups[:i], g.w.groups[i+1:]...)
+			break
+		}
+	}
+	g.w.rebuild()
 	return nil
 }
 
@@ -566,36 +712,45 @@ func (s *Engine) finishPending() {
 			if s.err == nil {
 				s.err = p.err
 			}
-			s.members[p.mb.index] = nil // never activated
+			for _, q := range p.g.subs {
+				s.members[q] = nil // never activated
+			}
 			continue
 		}
-		w := s.workers[p.mb.index%len(s.workers)]
-		p.mb.engine.SetSink(captureSink{w})
-		w.members = append(w.members, p.mb)
+		w := p.g.w
+		p.g.engine.SetSink(captureSink{w})
+		s.groups = append(s.groups, p.g)
+		w.groups = append(w.groups, p.g)
+		w.rebuild()
 	}
 	s.pending = s.pending[:0]
 	s.catch = s.catch[:0]
 }
 
 // catchUp replays the captured sub-batches through a freshly
-// bootstrapped member on the coordinator goroutine, tagging its
-// emissions for the current batch's merge. The member reads the graph
-// at each sub-batch's original epoch, kept alive by the bootstrap
-// lease, so it observes exactly the snapshots the live members did.
+// bootstrapped group on the coordinator goroutine, tagging its
+// emissions (fanned out to every subscriber) for the current batch's
+// merge. The group reads the graph at each sub-batch's original epoch,
+// kept alive by the bootstrap lease, so it observes exactly the
+// snapshots the live members did.
 func (s *Engine) catchUp(p *pendingMember) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("shard: dynamic member %d catch-up panic: %v", p.mb.index, r)
+			err = fmt.Errorf("shard: dynamic member %d catch-up panic: %v", p.g.subs[0], r)
 		}
 	}()
 	cur := 0
-	e := p.mb.engine
+	e := p.g.engine
 	e.SetSink(core.FuncSink{
 		Match: func(m core.Match) {
-			s.tagged = append(s.tagged, Result{Tuple: cur, Query: p.mb.index, Match: m})
+			for _, q := range p.g.subs {
+				s.tagged = append(s.tagged, Result{Tuple: cur, Query: q, Match: m})
+			}
 		},
 		Invalidate: func(m core.Match) {
-			s.tagged = append(s.tagged, Result{Tuple: cur, Query: p.mb.index, Match: m, Invalidated: true})
+			for _, q := range p.g.subs {
+				s.tagged = append(s.tagged, Result{Tuple: cur, Query: q, Match: m, Invalidated: true})
+			}
 		},
 	})
 	for _, jb := range s.catch {
@@ -659,32 +814,36 @@ func (w *worker) apply(jb job) (rep reply) {
 		}
 	}()
 	w.buf = nil
-	// Hand every member the epoch this sub-batch was cut against; the
+	// Hand every group the epoch this sub-batch was cut against; the
 	// coordinator may already be mutating the graph at later epochs.
-	for _, mb := range w.members {
-		mb.engine.SetReadEpoch(jb.epoch)
+	for _, g := range w.groups {
+		g.engine.SetReadEpoch(jb.epoch)
 	}
 	for _, st := range jb.steps {
 		if st.expire {
 			w.curTuple = st.index
-			for _, mb := range w.members {
-				w.curQuery = mb.index
-				mb.engine.ApplyExpiry(st.deadline)
+			for _, g := range w.groups {
+				w.curGroup = g
+				g.engine.ApplyExpiry(st.deadline)
 			}
 		}
 		if st.skip {
 			continue
 		}
 		w.curTuple = st.index
-		for _, mb := range w.members {
-			if !mb.engine.RelevantLabel(st.tuple.Label) {
-				continue
-			}
-			w.curQuery = mb.index
+		// Only the groups with a transition on this label, most selective
+		// first (the groups are independent — they share only the epoch-
+		// versioned snapshot graph — so order cannot change emissions).
+		order := w.rel.Groups(int(st.tuple.Label))
+		w.dispatches += int64(len(order))
+		w.relevanceSkips += int64(len(w.groups) - len(order))
+		for _, gi := range order {
+			g := w.groups[gi]
+			w.curGroup = g
 			if st.del {
-				mb.engine.ApplyDelete(st.tuple)
+				g.engine.ApplyDelete(st.tuple)
 			} else {
-				mb.engine.ApplyInsert(st.tuple)
+				g.engine.ApplyInsert(st.tuple)
 			}
 		}
 	}
@@ -949,22 +1108,39 @@ func (s *Engine) merge() {
 	}
 }
 
-// Stats aggregates member statistics; Edges/Vertices describe the
+// addGroupStats folds one group's engine counters into an aggregate:
+// index-maintenance counters (Trees, Nodes, InsertCalls, expiry costs)
+// once per group — that is the point of sharing — and delivery counters
+// (Results, Invalidations) once per subscribed query, matching what
+// private engines would have reported for a static query set.
+func addGroupStats(out *core.Stats, g *group) {
+	ms := g.engine.Stats()
+	n := int64(len(g.subs))
+	out.Trees += ms.Trees
+	out.Nodes += ms.Nodes
+	out.Results += ms.Results * n
+	out.Invalidations += ms.Invalidations * n
+	out.InsertCalls += ms.InsertCalls
+	out.ExpiryRuns += ms.ExpiryRuns
+	out.ExpiryTime += ms.ExpiryTime
+	out.Groups++
+	if len(g.subs) > 1 {
+		out.SharedGroups++
+	}
+}
+
+// Stats aggregates group statistics; Edges/Vertices describe the
 // shared graph. Call between batches only.
 func (s *Engine) Stats() core.Stats {
 	var st core.Stats
-	for _, mb := range s.members {
-		if mb == nil {
-			continue
-		}
-		ms := mb.engine.Stats()
-		st.Trees += ms.Trees
-		st.Nodes += ms.Nodes
-		st.Results += ms.Results
-		st.Invalidations += ms.Invalidations
-		st.InsertCalls += ms.InsertCalls
-		st.ExpiryRuns += ms.ExpiryRuns
-		st.ExpiryTime += ms.ExpiryTime
+	for _, g := range s.groups {
+		addGroupStats(&st, g)
+	}
+	st.Dispatches = s.dispatchBase
+	st.RelevanceSkips = s.skipBase
+	for _, w := range s.workers {
+		st.Dispatches += w.dispatches
+		st.RelevanceSkips += w.relevanceSkips
 	}
 	st.TuplesSeen = s.seen
 	st.TuplesDropped = s.dropped
@@ -974,21 +1150,17 @@ func (s *Engine) Stats() core.Stats {
 }
 
 // ShardStats returns, per shard, the aggregated statistics of the
-// queries it owns — the load-balance view of the partitioning. Call
-// between batches only.
+// groups it owns — the load-balance view of the partitioning, including
+// how many of the shard's per-tuple dispatches the relevance filter
+// admitted vs skipped. Call between batches only.
 func (s *Engine) ShardStats() []core.Stats {
 	out := make([]core.Stats, len(s.workers))
 	for i, w := range s.workers {
-		for _, mb := range w.members {
-			ms := mb.engine.Stats()
-			out[i].Trees += ms.Trees
-			out[i].Nodes += ms.Nodes
-			out[i].Results += ms.Results
-			out[i].Invalidations += ms.Invalidations
-			out[i].InsertCalls += ms.InsertCalls
-			out[i].ExpiryRuns += ms.ExpiryRuns
-			out[i].ExpiryTime += ms.ExpiryTime
+		for _, g := range w.groups {
+			addGroupStats(&out[i], g)
 		}
+		out[i].Dispatches = w.dispatches
+		out[i].RelevanceSkips = w.relevanceSkips
 	}
 	return out
 }
@@ -1013,9 +1185,24 @@ func (s *Engine) SnapshotState() *core.MultiState {
 		Retain:  s.retain,
 		LabelTS: append([]int64(nil), s.labelTS...),
 	}
+	st.Dispatches = s.dispatchBase
+	st.RelevanceSkips = s.skipBase
+	for _, w := range s.workers {
+		st.Dispatches += w.dispatches
+		st.RelevanceSkips += w.relevanceSkips
+	}
+	// Groups ordered by lowest subscriber index: a canonical order that
+	// restore can reproduce without knowing group creation history.
+	ordered := append([]*group(nil), s.groups...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].subs[0] < ordered[j].subs[0] })
+	rank := make(map[*group]int, len(ordered))
+	for gi, g := range ordered {
+		rank[g] = gi
+		st.Members = append(st.Members, g.engine.SnapshotState())
+	}
 	for _, mb := range s.members {
 		if mb != nil {
-			st.Members = append(st.Members, mb.engine.SnapshotState())
+			st.MemberGroup = append(st.MemberGroup, rank[mb.group])
 		}
 	}
 	return st
@@ -1025,6 +1212,11 @@ func (s *Engine) SnapshotState() *core.MultiState {
 // already be registered (same number, same order as at snapshot time)
 // and no batch processed yet. The restored graph starts at epoch 0
 // regardless of where the snapshotting engine's epoch counter stood.
+// The snapshot's query→group mapping is authoritative: groups formed at
+// registration are re-partitioned to match it, so a v4 snapshot
+// restores its exact sharing layout at any shard count, and a v3
+// snapshot restores private groups (re-deduplicated into shared ones
+// when sharing is on and the member states are identical).
 func (s *Engine) RestoreState(st *core.MultiState) error {
 	if s.closed {
 		return fmt.Errorf("shard: RestoreState on closed engine")
@@ -1032,15 +1224,15 @@ func (s *Engine) RestoreState(st *core.MultiState) error {
 	if s.started || s.seen != 0 {
 		return fmt.Errorf("shard: RestoreState after processing started")
 	}
-	live := 0
-	for _, mb := range s.members {
+	var liveIdx []int
+	for i, mb := range s.members {
 		if mb != nil {
-			live++
+			liveIdx = append(liveIdx, i)
 		}
 	}
-	if len(st.Members) != live {
-		return fmt.Errorf("shard: restore: snapshot has %d members, engine has %d",
-			len(st.Members), live)
+	parts, states, err := core.PlanGroupPartition(st, liveIdx, func(i int) string { return s.members[i].key }, s.sharing)
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
 	}
 	if err := core.RestoreEdges(s.g, st.Edges); err != nil {
 		return err
@@ -1051,15 +1243,48 @@ func (s *Engine) RestoreState(st *core.MultiState) error {
 	s.win.SetState(st.Win)
 	s.retain = st.Retain
 	s.labelTS = append([]int64(nil), st.LabelTS...)
-	i := 0
-	for _, mb := range s.members {
-		if mb == nil {
-			continue
+	s.dispatchBase = st.Dispatches
+	s.skipBase = st.RelevanceSkips
+	// Reuse registration-formed groups whose subscriber sets already
+	// match a snapshot partition (the common path, which keeps
+	// AddParallel members on their ParallelRAPQ engines); re-form the
+	// rest as RAPQ groups over the widest bound of the partition.
+	existing := make(map[string]*group, len(s.groups))
+	for _, g := range s.groups {
+		existing[fmt.Sprint(g.subs)] = g
+	}
+	groups := make([]*group, len(parts))
+	for gi, part := range parts {
+		g, ok := existing[fmt.Sprint(part)]
+		if !ok {
+			best := s.members[part[0]]
+			for _, idx := range part[1:] {
+				if len(s.members[idx].bound.ByLabel) > len(best.bound.ByLabel) {
+					best = s.members[idx]
+				}
+			}
+			w := s.workers[part[0]%len(s.workers)]
+			e := core.NewRAPQ(best.bound, s.spec, core.WithSink(captureSink{w}))
+			e.AttachGraph(s.g)
+			g = &group{engine: e, bound: best.bound, key: best.key, subs: append([]int(nil), part...), w: w}
+			for _, idx := range part {
+				s.members[idx].group = g
+			}
 		}
-		if err := mb.engine.RestoreState(st.Members[i]); err != nil {
-			return fmt.Errorf("shard: restore member %d: %w", i, err)
+		if err := g.engine.RestoreState(states[gi]); err != nil {
+			return fmt.Errorf("shard: restore group %d: %w", gi, err)
 		}
-		i++
+		groups[gi] = g
+	}
+	s.groups = groups
+	for _, w := range s.workers {
+		w.groups = w.groups[:0]
+	}
+	for _, g := range groups {
+		g.w.groups = append(g.w.groups, g)
+	}
+	for _, w := range s.workers {
+		w.rebuild()
 	}
 	return nil
 }

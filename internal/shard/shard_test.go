@@ -355,9 +355,11 @@ func TestShardedParallelMembers(t *testing.T) {
 }
 
 // TestShardStats: every shard that owns queries reports work on a
-// stream that touches all alphabets.
+// stream that touches all alphabets. Sharing is pinned off — with it
+// on, the six identical queries would collapse into one group on one
+// shard (see TestShardStatsShared).
 func TestShardStats(t *testing.T) {
-	s, err := New(window.Spec{Size: 50, Slide: 5}, WithShards(3))
+	s, err := New(window.Spec{Size: 50, Slide: 5}, WithShards(3), WithSharing(false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,10 +381,50 @@ func TestShardStats(t *testing.T) {
 		if st.InsertCalls == 0 {
 			t.Errorf("shard %d reports no insert calls", i)
 		}
+		if st.Groups != 2 || st.SharedGroups != 0 {
+			t.Errorf("shard %d: groups %d shared %d, want 2 private", i, st.Groups, st.SharedGroups)
+		}
 		total += st.Results
 	}
 	if agg := s.Stats(); agg.Results != total {
 		t.Fatalf("aggregate results %d != sum of shard results %d", agg.Results, total)
+	}
+}
+
+// TestShardStatsShared: with sharing on (the default), six identical
+// queries form ONE group whose index is maintained once, while each
+// query still receives its own result stream: Results scales with the
+// subscriber count, InsertCalls does not.
+func TestShardStatsShared(t *testing.T) {
+	mk := func(sharing bool) core.Stats {
+		s, err := New(window.Spec{Size: 50, Slide: 5}, WithShards(3), WithSharing(sharing))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		for i := 0; i < 6; i++ {
+			if _, err := s.Add(bind(t, "(a/b)+", "a", "b"), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := s.ProcessBatch(randomTuples(rand.New(rand.NewSource(3)), 200, 5, 2, 1, 0)); err != nil {
+			t.Fatal(err)
+		}
+		return s.Stats()
+	}
+	shared, private := mk(true), mk(false)
+	if shared.Groups != 1 || shared.SharedGroups != 1 {
+		t.Fatalf("sharing on: groups %d shared %d, want 1/1", shared.Groups, shared.SharedGroups)
+	}
+	if shared.Results != private.Results || shared.Invalidations != private.Invalidations {
+		t.Fatalf("delivery counters differ: shared %d/%d vs private %d/%d",
+			shared.Results, shared.Invalidations, private.Results, private.Invalidations)
+	}
+	if private.InsertCalls != 6*shared.InsertCalls {
+		t.Fatalf("InsertCalls: private %d, shared %d — want exactly 6x", private.InsertCalls, shared.InsertCalls)
+	}
+	if shared.Dispatches == 0 || shared.RelevanceSkips != 0 {
+		t.Fatalf("shared dispatch counters: %d/%d", shared.Dispatches, shared.RelevanceSkips)
 	}
 }
 

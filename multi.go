@@ -33,6 +33,7 @@ type MultiEvaluator struct {
 	lastTS   int64
 	started  bool
 	dynamic  bool   // EnableDynamicQueries: online add/remove allowed
+	sharing  bool   // multi-query sharing: isomorphic automata share one Δ index
 	batches  uint64 // batches applied (without persistence; see AppliedBatches)
 }
 
@@ -79,6 +80,7 @@ func NewMultiEvaluator(size, slide int64, queries ...*Query) (*MultiEvaluator, e
 		labels:   stream.NewDict(),
 		spec:     spec,
 		multi:    multi,
+		sharing:  true,
 	}
 	// The shared dense label space is the union of all query
 	// alphabets; it must be fixed before binding any member.
@@ -149,7 +151,7 @@ func (m *MultiEvaluator) WithShards(n int) error {
 	if m.persist != nil {
 		return fmt.Errorf("streamrpq: WithShards after WithPersistence (choose the shard count first: it is recorded in the checkpoint metadata)")
 	}
-	opts := []shard.Option{shard.WithShards(n)}
+	opts := []shard.Option{shard.WithShards(n), shard.WithSharing(m.sharing)}
 	if m.depth > 0 {
 		opts = append(opts, shard.WithPipelineDepth(m.depth))
 	}
@@ -188,6 +190,47 @@ func (m *MultiEvaluator) WithShards(n int) error {
 	m.multi = nil
 	return nil
 }
+
+// WithQuerySharing switches multi-query sharing on or off (default
+// on). With sharing on, queries whose bound automata are structurally
+// identical — including syntactically different but equivalent
+// patterns, which minimization canonicalizes — share ONE Δ-index tree
+// set, maintained once per tuple; each registered query still receives
+// its own complete result stream, byte-identical to what a private
+// copy would emit. Off restores one private engine per query (the
+// pre-sharing layout, useful for ablation). Must be called before the
+// first tuple; the setting is recorded in checkpoints and survives
+// recovery.
+func (m *MultiEvaluator) WithQuerySharing(on bool) error {
+	if m.started {
+		return fmt.Errorf("streamrpq: WithQuerySharing after processing started")
+	}
+	if m.persist != nil {
+		return fmt.Errorf("streamrpq: WithQuerySharing after WithPersistence (configure the engine before enabling durability)")
+	}
+	if on == m.sharing {
+		return nil
+	}
+	m.sharing = on
+	if m.sharded != nil {
+		// Rebuild the sharded backend with the new grouping.
+		return m.WithShards(m.sharded.NumShards())
+	}
+	if err := m.multi.SetSharing(on); err != nil {
+		return fmt.Errorf("streamrpq: %w", err)
+	}
+	// SetSharing regroups every slot onto fresh engines; refresh the
+	// members' engine handles from their registration slots.
+	for i, member := range m.queries {
+		if !member.removed {
+			member.eng = m.multi.EngineAt(i)
+		}
+	}
+	return nil
+}
+
+// QuerySharing reports whether multi-query sharing is enabled.
+func (m *MultiEvaluator) QuerySharing() bool { return m.sharing }
 
 // WithPipelineDepth bounds how many sub-batches the sharded backend
 // may run ahead of its slowest shard (see shard.WithPipelineDepth;
@@ -361,8 +404,8 @@ func (m *MultiEvaluator) RemoveQuery(index int) error {
 			return fmt.Errorf("streamrpq: %w", err)
 		}
 	} else {
-		if !m.multi.Remove(member.eng) {
-			return fmt.Errorf("streamrpq: internal error: RemoveQuery: engine for index %d not registered", index)
+		if !m.multi.RemoveIndex(index) {
+			return fmt.Errorf("streamrpq: internal error: RemoveQuery: no live slot at index %d", index)
 		}
 	}
 	member.removed = true

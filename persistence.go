@@ -131,6 +131,7 @@ func (m *MultiEvaluator) Checkpoint() error {
 		Spec:           m.spec,
 		Sharded:        m.sharded != nil,
 		Shards:         m.NumShards(),
+		Sharing:        m.sharing,
 		Vertices:       m.vertices.Names(),
 		Labels:         m.labels.Names(),
 		LastTS:         m.lastTS,
@@ -417,6 +418,14 @@ func rebuildFromSnapshot(snap *persist.Snapshot) (*MultiEvaluator, error) {
 		if err := m.vertices.Load(snap.Vertices); err != nil {
 			return nil, fmt.Errorf("streamrpq: recover: vertex dictionary: %w", err)
 		}
+	}
+	// The sharing mode must be in force before RestoreState: the
+	// snapshot's query→group mapping is restored verbatim either way,
+	// but registration-formed groups that already match it are reused,
+	// and a v3 snapshot's private states only re-deduplicate under a
+	// sharing coordinator.
+	if err := m.WithQuerySharing(snap.Sharing); err != nil {
+		return nil, err
 	}
 	var restoreErr error
 	if snap.Sharded {

@@ -13,11 +13,14 @@ import (
 )
 
 // persistTestQueries is the shared multi-query workload of the
-// durability tests.
+// durability tests. The last pattern is language-equivalent to the
+// first, so under the default sharing mode the two subscribe to one
+// shared Δ-index group — checkpoints of every configuration below
+// therefore carry a shared-group layout (snapshot format v4).
 func persistTestQueries(t testing.TB) []*Query {
 	t.Helper()
 	var qs []*Query
-	for _, expr := range []string{"a/b*", "(a|b)+", "b/a"} {
+	for _, expr := range []string{"a/b*", "(a|b)+", "b/a", "a|(a/b*)"} {
 		q, err := Compile(expr)
 		if err != nil {
 			t.Fatal(err)
@@ -133,11 +136,20 @@ func TestKillRecoverDifferential(t *testing.T) {
 	// leaves no residue in checkpoints either — snapshots are
 	// writer-count-free, and a snapshot taken at one writer count
 	// restores into any other.
-	for _, cfg := range []struct{ shards, depth, writers int }{
-		{0, 0, 0}, {1, 0, 0}, {4, 0, 0}, {4, 1, 0}, {4, 4, 0}, {4, 0, 4}, {1, 2, 2},
+	// private = multi-query sharing off: the workload's equivalent pair
+	// then keeps two private Δ indexes, and recovery must restore the
+	// persisted sharing flag rather than the default.
+	for _, cfg := range []struct {
+		shards, depth, writers int
+		private                bool
+	}{
+		{0, 0, 0, false}, {1, 0, 0, false}, {4, 0, 0, false}, {4, 1, 0, false},
+		{4, 4, 0, false}, {4, 0, 4, false}, {1, 2, 2, false},
+		{0, 0, 0, true}, {4, 0, 0, true},
 	} {
 		shards, depth, writers := cfg.shards, cfg.depth, cfg.writers
-		t.Run(fmt.Sprintf("shards=%d/depth=%d/writers=%d", shards, depth, writers), func(t *testing.T) {
+		private := cfg.private
+		t.Run(fmt.Sprintf("shards=%d/depth=%d/writers=%d/private=%v", shards, depth, writers, private), func(t *testing.T) {
 			// Delete/re-insert churn puts the crash point mid-churn: the
 			// recovered engines' support counts (snapshot format v2) must
 			// reproduce the invalidation stream exactly.
@@ -147,6 +159,11 @@ func TestKillRecoverDifferential(t *testing.T) {
 				m, err := NewMultiEvaluator(20, 2, persistTestQueries(t)...)
 				if err != nil {
 					t.Fatal(err)
+				}
+				if private {
+					if err := m.WithQuerySharing(false); err != nil {
+						t.Fatal(err)
+					}
 				}
 				if depth > 0 {
 					if err := m.WithPipelineDepth(depth); err != nil {
@@ -228,8 +245,11 @@ func TestKillRecoverDifferential(t *testing.T) {
 			if m2.AppliedTuples() != applied {
 				t.Fatalf("recovered AppliedTuples = %d, want %d", m2.AppliedTuples(), applied)
 			}
-			if m2.NumShards() != max(shards, 1) || m2.NumQueries() != 3 {
+			if m2.NumShards() != max(shards, 1) || m2.NumQueries() != 4 {
 				t.Fatalf("recovered topology: %d shards, %d queries", m2.NumShards(), m2.NumQueries())
+			}
+			if m2.QuerySharing() != !private {
+				t.Fatalf("recovered sharing mode = %v, want %v", m2.QuerySharing(), !private)
 			}
 			for i, b := range batches[killAt:] {
 				brs, err := m2.IngestBatch(b)
